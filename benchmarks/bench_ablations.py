@@ -1,0 +1,142 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but direct tests of the mechanisms the paper
+credits for TokenCMP's behaviour:
+
+* migratory-sharing optimization on/off (Section 4: "we can add or remove
+  the migratory sharing optimization by changing the number of tokens
+  returned in response to a read request");
+* C-token vs 1-token external read responses (Section 4);
+* the bounded response-delay window (Section 3.2, Rajwar-inspired);
+* the contention predictor's benefit under high lock contention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from bench_common import emit, full_params
+from repro.analysis.report import ResultTable, run_one
+from repro.system.config import PROTOCOLS, ProtocolConfig
+from repro.workloads.locking import LockingWorkload
+from repro.workloads.sharing import CounterWorkload, ReadSharingWorkload
+
+
+def _variant(base: str, **changes) -> ProtocolConfig:
+    return dataclasses.replace(PROTOCOLS[base], **changes)
+
+
+def _counter_factory(params, seed):
+    return CounterWorkload(params, increments=10, seed=seed)
+
+
+def _hot_locks_factory(params, seed):
+    return LockingWorkload(params, num_locks=4, acquires_per_proc=12, seed=seed)
+
+
+def _cold_locks_factory(params, seed):
+    return LockingWorkload(params, num_locks=256, acquires_per_proc=12, seed=seed)
+
+
+def _read_sharing_factory(params, seed):
+    return ReadSharingWorkload(params, shared_blocks=16, rounds=6, seed=seed)
+
+
+def run_experiment():
+    params = full_params()
+    table = ResultTable(
+        "Ablations - TokenCMP-dst1 with one mechanism removed "
+        "(runtime relative to the full protocol; >1.00 means the mechanism helps)",
+        ["mechanism removed", "workload", "relative runtime"],
+    )
+    rows = {}
+
+    def measure(cfg, factory):
+        return run_one(params, cfg, factory, seed=1).runtime_ps
+
+    base_counter = measure(PROTOCOLS["TokenCMP-dst1"], _counter_factory)
+    base_hot = measure(PROTOCOLS["TokenCMP-dst1"], _hot_locks_factory)
+
+    rows["migratory"] = measure(
+        _variant("TokenCMP-dst1", migratory=False), _counter_factory
+    ) / base_counter
+    table.add("migratory sharing", "shared counter", f"{rows['migratory']:.2f}")
+
+    base_share = measure(PROTOCOLS["TokenCMP-dst1"], _read_sharing_factory)
+    rows["ctokens"] = measure(
+        _variant("TokenCMP-dst1", read_tokens_c=False), _read_sharing_factory
+    ) / base_share
+    table.add("C-token read responses", "read sharing", f"{rows['ctokens']:.2f}")
+
+    rows["delay"] = measure(
+        _variant("TokenCMP-dst1", response_delay=False), _hot_locks_factory
+    ) / base_hot
+    table.add("response-delay window", "locking (4 locks)", f"{rows['delay']:.2f}")
+
+    pred = measure(PROTOCOLS["TokenCMP-dst1-pred"], _hot_locks_factory)
+    rows["pred"] = base_hot / pred
+    table.add(
+        "(adding) contention predictor", "locking (4 locks)",
+        f"{rows['pred']:.2f}x speedup",
+    )
+    return rows, table
+
+
+def run_flat_policy_experiment():
+    """TokenB vs TokenCMP-dst1: what the hierarchical policy buys.
+
+    Section 4 argues the original flat TokenB policy fits M-CMPs poorly:
+    machine-wide broadcasts waste intra- and inter-CMP bandwidth and the
+    all-responses timeout average misbehaves.  With ample link bandwidth
+    the runtimes are close — the cost shows up as traffic.
+    """
+    from repro.interconnect.traffic import Scope
+    from repro.workloads.commercial import make_commercial
+
+    params = full_params()
+    out = {}
+    for proto in ("TokenB", "TokenCMP-dst1"):
+        machine_result = run_one(
+            params, proto,
+            lambda p, s: make_commercial(p, "oltp", seed=s, refs_per_proc=200),
+            seed=1,
+        )
+        out[proto] = machine_result
+    table = ResultTable(
+        "Flat (TokenB) vs hierarchical (TokenCMP-dst1) performance policy, OLTP",
+        ["protocol", "runtime (rel)", "intra-CMP bytes (rel)", "inter-CMP bytes (rel)"],
+    )
+    base = out["TokenCMP-dst1"]
+    for proto, res in out.items():
+        table.add(
+            proto,
+            f"{res.runtime_ps / base.runtime_ps:.2f}",
+            f"{res.meter.scope_bytes(Scope.INTRA) / base.meter.scope_bytes(Scope.INTRA):.2f}",
+            f"{res.meter.scope_bytes(Scope.INTER) / base.meter.scope_bytes(Scope.INTER):.2f}",
+        )
+    return out, table
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_flat_vs_hierarchical_policy(benchmark):
+    out, table = benchmark.pedantic(run_flat_policy_experiment, rounds=1, iterations=1)
+    emit("ablation_flat_policy", [table])
+    from repro.interconnect.traffic import Scope
+
+    flat, hier = out["TokenB"], out["TokenCMP-dst1"]
+    # The hierarchical policy saves substantial traffic on both networks.
+    assert flat.meter.scope_bytes(Scope.INTER) > 1.5 * hier.meter.scope_bytes(Scope.INTER)
+    assert flat.meter.scope_bytes(Scope.INTRA) > 1.2 * hier.meter.scope_bytes(Scope.INTRA)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark):
+    rows, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("ablations", [table])
+
+    # Migratory sharing is the big one for read-modify-write data.
+    assert rows["migratory"] > 1.05
+    # Removing the response-delay window must not help contended locking.
+    assert rows["delay"] > 0.9

@@ -1,0 +1,77 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure from the paper.
+Results are printed AND written to ``benchmarks/results/<name>.txt`` so
+they survive pytest's output capturing; EXPERIMENTS.md records a snapshot.
+
+The runs are scaled down from the paper's (hundreds of transactions
+instead of full-system workloads) — the claims being reproduced are the
+*normalized shapes*, not absolute times.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.report import ResultTable, run_one
+from repro.common.params import SystemParams
+from repro.system.machine import RunResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+TOKEN_VARIANTS = [
+    "TokenCMP-dst4",
+    "TokenCMP-dst1",
+    "TokenCMP-dst1-pred",
+    "TokenCMP-dst1-filt",
+]
+DIR_VARIANTS = ["DirectoryCMP", "DirectoryCMP-zero"]
+PERSISTENT_ONLY = ["TokenCMP-arb0", "TokenCMP-dst0"]
+
+
+def full_params() -> SystemParams:
+    """The paper's 4-CMP x 4-processor target system (Table 3)."""
+    return SystemParams()
+
+
+def emit(name: str, tables: Iterable[ResultTable]) -> str:
+    """Print tables and persist them under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n\n".join(t.render() for t in tables)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+def runtime_grid(
+    params: SystemParams,
+    protocols: Sequence[str],
+    workload_factory: Callable[[SystemParams, int], object],
+    seeds: Sequence[int] = (1,),
+    max_events: Optional[int] = 120_000_000,
+) -> Dict[str, float]:
+    """Mean runtime in ps per protocol."""
+    out = {}
+    for proto in protocols:
+        total = 0.0
+        for seed in seeds:
+            total += run_one(params, proto, workload_factory, seed, max_events).runtime_ps
+        out[proto] = total / len(seeds)
+    return out
+
+
+def results_grid(
+    params: SystemParams,
+    protocols: Sequence[str],
+    workload_factory: Callable[[SystemParams, int], object],
+    seed: int = 1,
+    max_events: Optional[int] = 120_000_000,
+) -> Dict[str, RunResult]:
+    return {
+        proto: run_one(params, proto, workload_factory, seed, max_events)
+        for proto in protocols
+    }

@@ -1,0 +1,92 @@
+"""Figure 3: locking micro-benchmark with transient + persistent requests.
+
+Paper claims reproduced (shape):
+* at low contention (512 locks) all TokenCMP variants beat DirectoryCMP
+  (locks live in remote L1s; the directory pays indirections);
+* the crossover to DirectoryCMP lies in the high-contention regime;
+* TokenCMP-dst1-pred is robust at high contention;
+* normalized to DirectoryCMP at 512 locks.
+
+Known fidelity deviation (see EXPERIMENTS.md): the paper's dst4-worse-
+than-dst1 penalty at 2-4 locks does not reproduce here — with blocking
+cores the contended block parks at its holder, so dst4's retries reliably
+succeed instead of failing as they did on the paper's testbed.  We assert
+only that dst4 and dst1 stay within a moderate factor of each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import emit, full_params, runtime_grid
+from repro.analysis.report import ResultTable
+from repro.workloads.locking import LockingWorkload
+
+LOCK_COUNTS = [2, 4, 8, 16, 32, 64, 128, 256, 512]
+PROTOCOLS = [
+    "DirectoryCMP",
+    "DirectoryCMP-zero",
+    "TokenCMP-dst4",
+    "TokenCMP-dst1",
+    "TokenCMP-dst1-pred",
+]
+ACQUIRES = 12
+
+
+def _factory(num_locks):
+    def make(params, seed):
+        return LockingWorkload(
+            params, num_locks=num_locks, acquires_per_proc=ACQUIRES, seed=seed
+        )
+    return make
+
+
+def run_experiment():
+    params = full_params()
+    # High-contention points are noisy: average over perturbed runs, the
+    # paper's Alameldeen & Wood methodology (error bars).
+    grid = {
+        nl: runtime_grid(
+            params, PROTOCOLS, _factory(nl),
+            seeds=(1, 2, 3) if nl <= 8 else (1,),
+        )
+        for nl in LOCK_COUNTS
+    }
+    base = grid[512]["DirectoryCMP"]
+    table = ResultTable(
+        "Figure 3 - locking micro-benchmark, transient + persistent requests "
+        "(runtime normalized to DirectoryCMP @ 512 locks; smaller is better)",
+        ["locks"] + PROTOCOLS,
+    )
+    for nl in LOCK_COUNTS:
+        table.add(nl, *(f"{grid[nl][p] / base:.2f}" for p in PROTOCOLS))
+    return grid, table
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_locking_transient(benchmark):
+    grid, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("fig3_locking_transient", [table])
+
+    # Low contention: TokenCMP outperforms DirectoryCMP (many remote-L1
+    # sharing misses -> directory indirections).
+    assert grid[512]["TokenCMP-dst1"] < grid[512]["DirectoryCMP"]
+    assert grid[512]["TokenCMP-dst4"] < grid[512]["DirectoryCMP"]
+    # High contention: dst4 and dst1 stay in the same league (see module
+    # docstring for why the paper's dst4 penalty does not reproduce).
+    ratio = grid[2]["TokenCMP-dst4"] / grid[2]["TokenCMP-dst1"]
+    assert 0.5 < ratio < 2.0
+    # The predictor variant is robust at high contention.
+    assert grid[2]["TokenCMP-dst1-pred"] <= 1.1 * grid[2]["TokenCMP-dst1"]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_filter_variant_matches_dst1(benchmark):
+    """Paper: 'TokenCMP-dst1-filt performs identically to TokenCMP-dst1'."""
+    params = full_params()
+    grid = benchmark.pedantic(
+        lambda: runtime_grid(params, ["TokenCMP-dst1", "TokenCMP-dst1-filt"], _factory(64)),
+        rounds=1, iterations=1,
+    )
+    ratio = grid["TokenCMP-dst1-filt"] / grid["TokenCMP-dst1"]
+    assert 0.8 < ratio < 1.2

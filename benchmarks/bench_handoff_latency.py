@@ -1,0 +1,62 @@
+"""Sharing-miss hand-off latency: the mechanism behind Figure 6.
+
+The paper's introduction attributes DirectoryCMP's deficit to directory
+*indirections* on the sharing misses that dominate commercial workloads.
+This bench isolates the mechanism with the ping-pong micro-benchmark: one
+block bouncing between two processors, same-chip and cross-chip, and
+reports the time per round trip.
+
+Expected shape: TokenCMP's broadcast finds the remote owner directly, so
+its cross-chip hand-off beats DirectoryCMP's L1 -> home L2 -> home
+memory directory (DRAM!) -> owner chip L2 -> owner L1 chain; the
+zero-cycle directory closes part of the gap, showing how much of it is
+the directory access itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import emit, full_params
+from repro.analysis.report import ResultTable, run_one
+from repro.workloads.pingpong import PingPongWorkload
+
+PROTOCOLS = ["DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst1", "TokenB"]
+ROUNDS = 24
+
+
+def _factory(proc_b):
+    def make(params, seed):
+        return PingPongWorkload(params, proc_a=0, proc_b=proc_b,
+                                rounds=ROUNDS, seed=seed)
+    return make
+
+
+def run_experiment():
+    params = full_params()
+    results = {}
+    for label, proc_b in (("same chip", 1), ("cross chip", params.procs_per_chip)):
+        for proto in PROTOCOLS:
+            res = run_one(params, proto, _factory(proc_b), seed=1)
+            results[(label, proto)] = res.runtime_ps / ROUNDS / 1000.0  # ns/round
+    table = ResultTable(
+        "Sharing-miss hand-off: ns per ping-pong round trip (lower is better)",
+        ["pair"] + PROTOCOLS,
+    )
+    for label in ("same chip", "cross chip"):
+        table.add(label, *(f"{results[(label, p)]:.0f}" for p in PROTOCOLS))
+    return results, table
+
+
+@pytest.mark.benchmark(group="handoff")
+def test_handoff_latency(benchmark):
+    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("handoff_latency", [table])
+
+    # Cross-chip: token's direct broadcast beats the directory chain.
+    assert results[("cross chip", "TokenCMP-dst1")] < results[("cross chip", "DirectoryCMP")]
+    # The zero-cycle directory recovers part (not all) of the indirection.
+    assert results[("cross chip", "DirectoryCMP-zero")] < results[("cross chip", "DirectoryCMP")]
+    # Same-chip hand-offs are much cheaper than cross-chip for everyone.
+    for proto in PROTOCOLS:
+        assert results[("same chip", proto)] < results[("cross chip", proto)]

@@ -1,0 +1,77 @@
+"""CMP-count scaling study (paper Section 8, inter-CMP bandwidth).
+
+The paper: "In a system with more CMPs, TokenCMP traffic results will be
+worse (unless multicast with destination set predictions is employed
+[24])."  This bench quantifies exactly that: inter-CMP bytes normalized
+to DirectoryCMP as the machine grows from 2 to 8 CMPs, with and without
+the destination-set-prediction multicast extension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import emit
+from repro.analysis.report import ResultTable, run_one
+from repro.common.params import SystemParams
+from repro.interconnect.traffic import Scope
+from repro.workloads.commercial import make_commercial
+
+PROTOCOLS = ["DirectoryCMP", "TokenCMP-dst1", "TokenCMP-dst1-mcast"]
+CHIP_COUNTS = [2, 4, 8]
+REFS = 120
+
+
+def _params(chips: int) -> SystemParams:
+    return SystemParams(num_chips=chips, tokens_per_block=128 if chips > 4 else 64)
+
+
+def _factory(params, seed):
+    return make_commercial(params, "oltp", seed=seed, refs_per_proc=REFS)
+
+
+def run_experiment():
+    grid = {}
+    for chips in CHIP_COUNTS:
+        params = _params(chips)
+        grid[chips] = {
+            proto: run_one(params, proto, _factory, seed=1) for proto in PROTOCOLS
+        }
+    table = ResultTable(
+        "Scaling - inter-CMP traffic normalized to DirectoryCMP (OLTP) "
+        "and runtime normalized to DirectoryCMP, by CMP count",
+        ["CMPs"] + [f"{p} traffic" for p in PROTOCOLS[1:]]
+        + [f"{p} runtime" for p in PROTOCOLS[1:]],
+    )
+    for chips in CHIP_COUNTS:
+        res = grid[chips]
+        base_b = res["DirectoryCMP"].meter.scope_bytes(Scope.INTER)
+        base_t = res["DirectoryCMP"].runtime_ps
+        cells = [f"{res[p].meter.scope_bytes(Scope.INTER) / base_b:.2f}"
+                 for p in PROTOCOLS[1:]]
+        cells += [f"{res[p].runtime_ps / base_t:.2f}" for p in PROTOCOLS[1:]]
+        table.add(chips, *cells)
+    return grid, table
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_traffic(benchmark):
+    grid, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("scaling_traffic", [table])
+
+    def rel_traffic(chips, proto):
+        res = grid[chips]
+        return (
+            res[proto].meter.scope_bytes(Scope.INTER)
+            / res["DirectoryCMP"].meter.scope_bytes(Scope.INTER)
+        )
+
+    # Broadcast token traffic grows with CMP count relative to the
+    # directory...
+    assert rel_traffic(8, "TokenCMP-dst1") > rel_traffic(2, "TokenCMP-dst1")
+    # ... and destination-set multicast claws a good part of it back.
+    assert rel_traffic(8, "TokenCMP-dst1-mcast") < rel_traffic(8, "TokenCMP-dst1")
+    # TokenCMP keeps its runtime advantage at every machine size.
+    for chips in CHIP_COUNTS:
+        res = grid[chips]
+        assert res["TokenCMP-dst1"].runtime_ps < res["DirectoryCMP"].runtime_ps

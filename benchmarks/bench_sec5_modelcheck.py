@@ -1,0 +1,113 @@
+"""Section 5: model-checking effort comparison.
+
+The paper verified TLA+ models of the TokenCMP correctness substrate
+(arbiter and distributed activation, plus a safety-only model) and a
+simplified flat DirectoryCMP with TLC.  Its findings:
+
+* all models verify (safety, deadlock freedom, liveness under fairness);
+* TokenCMP-arb's checking effort is comparable to the flat directory's;
+  TokenCMP-dst is somewhat more intensive; TokenCMP-safety less;
+* spec size: 383 (arb) / 396 (dst) non-comment TLA+ lines vs 1025 for the
+  flat directory — the substrate is far smaller because only correctness,
+  not the performance protocol, needs to be verified.
+
+Here the same comparison runs on our explicit-state checker and Python
+models.  The spec-size analogue counts non-comment source lines of each
+model class; the effort analogue is reachable states/transitions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import emit
+from repro.analysis.report import ResultTable
+from repro.verification.checker import check, spec_size
+from repro.verification.dir_model import DirFlatModel
+from repro.verification.token_model import TokenArbModel, TokenDstModel, TokenSafetyModel
+
+PAPER_SPEC_LINES = {
+    "TokenCMP-safety": None,
+    "TokenCMP-safety (3 caches)": None,
+    "TokenCMP-arb": 383,
+    "TokenCMP-dst": 396,
+    "DirectoryCMP-flat": 1025,
+}
+
+
+def build_models():
+    """Down-scaled configurations that are exhaustively checkable.
+
+    The persistent-request models use the coarse-send and atomic-broadcast
+    abstractions (see token_model.py) to stay within an exhaustive budget;
+    the safety model runs with fully nondeterministic transfers.
+    """
+    bigger_safety = TokenSafetyModel(n_caches=3, total_tokens=4)
+    bigger_safety.name = "TokenCMP-safety (3 caches)"
+    return [
+        TokenSafetyModel(),  # full nondeterministic transfers, 2-value data
+        bigger_safety,  # wider config: two readers + a writer coexist
+        TokenArbModel(coarse_sends=True, atomic_broadcasts=True),
+        TokenDstModel(coarse_sends=True, atomic_broadcasts=True),
+        DirFlatModel(),
+    ]
+
+
+def _model_spec_lines(model) -> int:
+    """Non-comment source lines of the model, including shared token base."""
+    from repro.verification.token_model import _TokenBase
+
+    lines = spec_size(type(model))
+    if isinstance(model, _TokenBase):
+        lines += spec_size(_TokenBase)
+    return lines
+
+
+def run_experiment():
+    results = {}
+    for model in build_models():
+        # Liveness needs starvation-avoidance machinery; the safety-only
+        # model deliberately has none (paper: "lacks any
+        # starvation-prevention mechanisms").
+        liveness = not isinstance(model, TokenSafetyModel)
+        results[model.name] = (
+            check(model, max_states=6_000_000, check_liveness=liveness),
+            _model_spec_lines(model),
+        )
+    table = ResultTable(
+        "Section 5 - model checking effort (all properties verified)",
+        ["model", "states", "transitions", "diameter", "liveness",
+         "spec lines (this repo)", "spec lines (paper, TLA+)"],
+    )
+    for name, (res, lines) in results.items():
+        paper = PAPER_SPEC_LINES.get(name)
+        table.add(
+            name, res.states, res.transitions, res.diameter,
+            "yes" if res.liveness_checked else "safety-only",
+            lines, paper if paper is not None else "-",
+        )
+    return results, table
+
+
+@pytest.mark.benchmark(group="sec5")
+def test_sec5_model_checking(benchmark):
+    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("sec5_modelcheck", [table])
+
+    # Every model verified (check() raises otherwise).  Shape claims:
+    safety = results["TokenCMP-safety"][0]
+    arb = results["TokenCMP-arb"][0]
+    dst = results["TokenCMP-dst"][0]
+    flat_dir = results["DirectoryCMP-flat"][0]
+    # The safety-only substrate is cheaper to verify than either
+    # persistent-request mechanism (paper: "somewhat less intense").
+    assert safety.states < dst.states and safety.states < arb.states
+    # Deviation note (EXPERIMENTS.md): in OUR models arb is the most
+    # expensive (its queue + FIFO channels are explicit state), whereas
+    # the paper found dst somewhat costlier than arb.  Both remain
+    # exhaustively checkable, which is the claim that matters.
+    assert arb.states > dst.states
+    # The token substrate models are SMALLER specs than the flat
+    # directory (paper: 383/396 vs 1025 lines).
+    assert results["TokenCMP-arb"][1] < results["DirectoryCMP-flat"][1]
+    assert results["TokenCMP-dst"][1] < results["DirectoryCMP-flat"][1]

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Lock-contention study: Figures 2 and 3 in miniature.
+
+Sweeps the number of locks in the test-and-test-and-set locking
+micro-benchmark from high contention (2 locks for 16 processors) to low
+contention (512 locks), comparing persistent-request mechanisms and
+performance policies.  Prints runtimes normalized to DirectoryCMP at 512
+locks, like the paper's figures.
+
+Usage:  python examples/lock_contention_study.py [--acquires N]
+"""
+
+import argparse
+
+from repro.common.params import SystemParams
+from repro.system.machine import Machine
+from repro.workloads.locking import LockingWorkload
+
+PROTOCOLS = [
+    "TokenCMP-arb0",
+    "TokenCMP-dst0",
+    "DirectoryCMP",
+    "DirectoryCMP-zero",
+    "TokenCMP-dst4",
+    "TokenCMP-dst1",
+    "TokenCMP-dst1-pred",
+]
+LOCKS = [2, 8, 32, 128, 512]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--acquires", type=int, default=12,
+                        help="lock acquires per processor (default 12)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    params = SystemParams()
+    runtimes = {}
+    for locks in LOCKS:
+        for proto in PROTOCOLS:
+            machine = Machine(params, proto, seed=args.seed)
+            wl = LockingWorkload(params, num_locks=locks,
+                                 acquires_per_proc=args.acquires, seed=args.seed)
+            runtimes[(locks, proto)] = machine.run(wl).runtime_ps
+
+    base = runtimes[(512, "DirectoryCMP")]
+    width = max(len(p) for p in PROTOCOLS)
+    print(f"\nRuntime normalized to DirectoryCMP @ 512 locks "
+          f"(16 processors, {args.acquires} acquires each; lower is better)\n")
+    print("  " + "locks".ljust(width) + "".join(f"{l:>8}" for l in LOCKS))
+    for proto in PROTOCOLS:
+        row = "".join(f"{runtimes[(l, proto)] / base:8.2f}" for l in LOCKS)
+        print("  " + proto.ljust(width) + row)
+
+    from repro.analysis.chart import sweep_chart
+
+    series = {
+        proto: [runtimes[(l, proto)] / base for l in LOCKS]
+        for proto in ("TokenCMP-arb0", "TokenCMP-dst0", "DirectoryCMP", "TokenCMP-dst1")
+    }
+    print()
+    print(sweep_chart("Figures 2-3 in one sweep (y = normalized runtime)",
+                      LOCKS, series))
+    print("\nRead left (contended) to right (uncontended): the arbiter scheme"
+          "\ndegrades under contention, distributed activation does not, and"
+          "\nTokenCMP beats the directory once sharing misses dominate.")
+
+
+if __name__ == "__main__":
+    main()

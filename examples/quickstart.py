@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build an M-CMP machine, run a workload, read the results.
+
+Part 1 proves coherence end to end: a lock-protected shared counter on
+TokenCMP must come out exact, and the token-conservation invariants must
+hold afterwards.
+
+Part 2 is the paper's headline comparison: the OLTP-profile workload on
+the hierarchical MOESI directory baseline vs TokenCMP-dst1 (Figure 6
+reported TokenCMP ~50% faster on OLTP).
+"""
+
+from repro.common.params import SystemParams
+from repro.interconnect.traffic import Scope
+from repro.system.machine import Machine
+from repro.workloads.commercial import make_commercial
+from repro.workloads.sharing import CounterWorkload
+
+
+def main() -> None:
+    params = SystemParams()  # Table 3 defaults: 4 CMPs x 4 processors
+    print(f"Machine: {params.num_chips} CMPs x {params.procs_per_chip} processors, "
+          f"{params.tokens_per_block} tokens/block\n")
+
+    # --- Part 1: coherence is real -----------------------------------
+    machine = Machine(params, "TokenCMP-dst1", seed=1)
+    counter = CounterWorkload(params, increments=10, seed=1)
+    machine.run(counter)
+    final = machine.coherent_value(counter.counter)
+    assert final == counter.expected_total, "coherence violation!"
+    machine.check_token_invariants()  # token conservation, single owner...
+    print(f"shared counter: {final} / {counter.expected_total} "
+          "(mutual exclusion + coherence verified)\n")
+
+    # --- Part 2: the paper's headline comparison ---------------------
+    runtimes = {}
+    for protocol in ("DirectoryCMP", "TokenCMP-dst1"):
+        machine = Machine(params, protocol, seed=1)
+        workload = make_commercial(params, "oltp", seed=1, refs_per_proc=200)
+        result = machine.run(workload)
+        runtimes[protocol] = result.runtime_ps
+        stats = result.stats
+        print(f"{protocol}")
+        print(f"  runtime              {result.runtime_ns:10.1f} ns")
+        print(f"  L1 hits / misses     {stats.get('l1.hits')} / {stats.get('l1.misses')}")
+        print(f"  avg miss latency     "
+              f"{stats.summaries['l1.miss_latency_ps'].mean / 1000:10.1f} ns")
+        print(f"  persistent requests  {stats.get('persistent.requests')}")
+        print(f"  intra-CMP traffic    {result.traffic_bytes(Scope.INTRA):10d} bytes")
+        print(f"  inter-CMP traffic    {result.traffic_bytes(Scope.INTER):10d} bytes")
+        sources = {k.replace("miss.src.", ""): v
+                   for k, v in stats.counters.items() if k.startswith("miss.src.")}
+        total = sum(sources.values()) or 1
+        profile = ", ".join(f"{k} {v / total:.0%}"
+                            for k, v in sorted(sources.items(), key=lambda kv: -kv[1]))
+        print(f"  miss data sources    {profile}")
+        print()
+    speedup = runtimes["DirectoryCMP"] / runtimes["TokenCMP-dst1"] - 1
+    print(f"TokenCMP-dst1 speedup on OLTP: {speedup:+.0%} (paper: +50%)")
+    print("(DirectoryCMP misses resolve via the home L2 — the indirection;"
+          " TokenCMP's broadcast reaches remote L1s directly.)")
+
+
+if __name__ == "__main__":
+    main()

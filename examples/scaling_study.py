@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Scaling study: inter-CMP traffic as the machine grows (Section 8).
+
+The paper: "In a system with more CMPs, TokenCMP traffic results will be
+worse (unless multicast with destination set predictions is employed)."
+This example grows the machine from 2 to 8 CMPs and compares the
+broadcast protocol (TokenCMP-dst1) against the destination-set-prediction
+multicast extension (TokenCMP-dst1-mcast), with DirectoryCMP as the
+traffic baseline.
+
+Usage:  python examples/scaling_study.py [--refs N]
+"""
+
+import argparse
+
+from repro.analysis.chart import bar_chart
+from repro.common.params import SystemParams
+from repro.interconnect.traffic import Scope
+from repro.system.machine import Machine
+from repro.workloads.commercial import make_commercial
+
+PROTOCOLS = ["DirectoryCMP", "TokenCMP-dst1", "TokenCMP-dst1-mcast"]
+CHIPS = [2, 4, 8]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refs", type=int, default=120,
+                        help="memory references per processor (default 120)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    for chips in CHIPS:
+        params = SystemParams(
+            num_chips=chips, tokens_per_block=128 if chips > 4 else 64
+        )
+        results = {}
+        for proto in PROTOCOLS:
+            machine = Machine(params, proto, seed=args.seed)
+            wl = make_commercial(params, "oltp", seed=args.seed,
+                                 refs_per_proc=args.refs)
+            results[proto] = machine.run(wl)
+        base = results["DirectoryCMP"].traffic_bytes(Scope.INTER)
+        rows = [
+            (proto, results[proto].traffic_bytes(Scope.INTER) / base)
+            for proto in PROTOCOLS
+        ]
+        print()
+        print(bar_chart(
+            f"{chips} CMPs ({chips * params.procs_per_chip} processors) — "
+            "inter-CMP bytes relative to DirectoryCMP",
+            rows, unit="x",
+        ))
+        dst1 = results["TokenCMP-dst1"]
+        mcast = results["TokenCMP-dst1-mcast"]
+        saved = 1 - mcast.traffic_bytes(Scope.INTER) / dst1.traffic_bytes(Scope.INTER)
+        print(f"  destination-set multicast saves {saved:.0%} of TokenCMP's "
+              f"inter-CMP bytes at {chips} CMPs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Section 5 in miniature: model-check the coherence protocols.
+
+Exhaustively explores down-scaled models of the TokenCMP correctness
+substrate (safety-only, arbiter activation, distributed activation) and a
+flat directory protocol, verifying safety (token conservation, single
+writer, value coherence), deadlock freedom, and liveness under fairness.
+
+Because only the correctness substrate is modelled — the performance
+policy is fully nondeterministic — a successful check covers every
+performance policy at once, hierarchical ones included.  That is the
+paper's central verification argument.
+
+Usage:  python examples/verify_protocols.py [--fast]
+"""
+
+import argparse
+import time
+
+from repro.verification.checker import check, spec_size
+from repro.verification.dir_model import DirFlatModel
+from repro.verification.token_model import (
+    TokenArbModel,
+    TokenDstModel,
+    TokenSafetyModel,
+    _TokenBase,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the larger persistent-request models")
+    args = parser.parse_args()
+
+    models = [
+        (TokenSafetyModel(), False),
+        (DirFlatModel(), True),
+    ]
+    if not args.fast:
+        models.insert(1, (TokenArbModel(values=1, coarse_sends=True), True))
+        models.insert(2, (TokenDstModel(values=1, coarse_sends=True), True))
+
+    print(f"{'model':22s} {'states':>10s} {'transitions':>12s} "
+          f"{'diameter':>9s} {'spec lines':>11s} {'time':>8s}")
+    for model, liveness in models:
+        t0 = time.time()
+        result = check(model, max_states=6_000_000, check_liveness=liveness)
+        lines = spec_size(type(model))
+        if isinstance(model, _TokenBase):
+            lines += spec_size(_TokenBase)
+        print(f"{model.name:22s} {result.states:10d} {result.transitions:12d} "
+              f"{result.diameter:9d} {lines:11d} {time.time() - t0:7.1f}s")
+    print("\nAll properties verified: safety, deadlock freedom"
+          " and (where applicable) liveness under fairness.")
+
+
+if __name__ == "__main__":
+    main()

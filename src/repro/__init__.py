@@ -1,0 +1,28 @@
+"""TokenCMP reproduction: token coherence for Multiple-CMP systems.
+
+Reproduces Marty et al., "Improving Multiple-CMP Systems Using Token
+Coherence" (HPCA 2005).  Public entry points:
+
+* :class:`repro.common.params.SystemParams` — the target machine (Table 3)
+* :class:`repro.system.machine.Machine` — build + run one protocol
+* :data:`repro.system.config.PROTOCOLS` — every protocol by paper name
+* :mod:`repro.workloads` — locking / barrier / counter / commercial
+* :mod:`repro.verification` — the model checker and protocol models
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.common.params import SystemParams
+from repro.system.config import PROTOCOLS, protocol
+from repro.system.machine import Machine, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemParams",
+    "Machine",
+    "RunResult",
+    "PROTOCOLS",
+    "protocol",
+    "__version__",
+]

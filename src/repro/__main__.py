@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``    — show the available protocols and workloads
+* ``run``     — run one workload on one protocol, print stats
+* ``sweep``   — run a workload across all protocols, print normalized runtimes
+* ``verify``  — model-check the protocol models (Section 5)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.params import SystemParams
+from repro.interconnect.traffic import Scope
+from repro.system.config import PROTOCOLS
+from repro.system.machine import Machine
+
+WORKLOADS = ["locking", "barrier", "counter", "oltp", "apache", "specjbb"]
+
+
+def _build_workload(name: str, params: SystemParams, seed: int, args):
+    if name == "locking":
+        from repro.workloads.locking import LockingWorkload
+
+        return LockingWorkload(
+            params, num_locks=args.locks, acquires_per_proc=args.ops, seed=seed
+        )
+    if name == "barrier":
+        from repro.workloads.barrier import BarrierWorkload
+
+        return BarrierWorkload(params, phases=args.ops, seed=seed)
+    if name == "counter":
+        from repro.workloads.sharing import CounterWorkload
+
+        return CounterWorkload(params, increments=args.ops, seed=seed)
+    from repro.workloads.commercial import make_commercial
+
+    return make_commercial(params, name, seed=seed, refs_per_proc=args.ops * 10)
+
+
+def cmd_list(_args) -> int:
+    print("protocols:")
+    for name, cfg in PROTOCOLS.items():
+        print(f"  {name:22s} family={cfg.family}")
+    print("workloads:", ", ".join(WORKLOADS))
+    return 0
+
+
+def cmd_run(args) -> int:
+    params = SystemParams(num_chips=args.chips, procs_per_chip=args.procs)
+    machine = Machine(params, args.protocol, seed=args.seed)
+    workload = _build_workload(args.workload, params, args.seed, args)
+    result = machine.run(workload)
+    if args.protocol.startswith("Token"):
+        machine.check_token_invariants()
+    stats = result.stats
+    print(f"protocol   {args.protocol}")
+    print(f"workload   {args.workload}")
+    print(f"runtime    {result.runtime_ns:.1f} ns")
+    print(f"hits       {stats.get('l1.hits')}")
+    print(f"misses     {stats.get('l1.misses')}")
+    if stats.summaries["l1.miss_latency_ps"].count:
+        print(f"miss lat   {stats.summaries['l1.miss_latency_ps'].mean / 1000:.1f} ns avg")
+    print(f"persistent {stats.get('persistent.requests')}")
+    print(f"intra      {result.traffic_bytes(Scope.INTRA)} bytes")
+    print(f"inter      {result.traffic_bytes(Scope.INTER)} bytes")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.common.errors import ConfigError
+
+    params = SystemParams(num_chips=args.chips, procs_per_chip=args.procs)
+    runtimes = {}
+    for name in PROTOCOLS:
+        try:
+            machine = Machine(params, name, seed=args.seed)
+        except ConfigError:
+            continue  # e.g. SnoopingSCMP on a multi-chip machine
+        workload = _build_workload(args.workload, params, args.seed, args)
+        runtimes[name] = machine.run(workload).runtime_ps
+    base = runtimes.get("DirectoryCMP") or next(iter(runtimes.values()))
+    print(f"{args.workload}: runtime normalized to DirectoryCMP")
+    for name, runtime in sorted(runtimes.items(), key=lambda kv: kv[1]):
+        print(f"  {name:22s} {runtime / base:6.2f}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.verification.checker import check
+    from repro.verification.dir_model import DirFlatModel
+    from repro.verification.token_model import (
+        TokenArbModel,
+        TokenDstModel,
+        TokenSafetyModel,
+    )
+
+    models = [
+        (TokenSafetyModel(), False),
+        (TokenDstModel(coarse_sends=True, atomic_broadcasts=True), True),
+        (DirFlatModel(), True),
+    ]
+    if not args.fast:
+        models.insert(2, (TokenArbModel(coarse_sends=True, atomic_broadcasts=True), True))
+    for model, liveness in models:
+        result = check(model, max_states=args.max_states, check_liveness=liveness)
+        print(result)
+    print("all properties verified")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.battery import write_report
+
+    write_report(args.out, scale=args.scale, seed=args.seed,
+                 progress=lambda msg: print(f"... {msg}"))
+    print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show protocols and workloads")
+
+    for name in ("run", "sweep"):
+        p = sub.add_parser(name, help=f"{name} a workload")
+        if name == "run":
+            p.add_argument("protocol", choices=sorted(PROTOCOLS))
+        p.add_argument("workload", choices=WORKLOADS)
+        p.add_argument("--chips", type=int, default=4)
+        p.add_argument("--procs", type=int, default=4)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--ops", type=int, default=16,
+                       help="acquires / phases / increments (x10 refs for "
+                            "commercial workloads)")
+        p.add_argument("--locks", type=int, default=32)
+
+    v = sub.add_parser("verify", help="model-check the protocol models")
+    v.add_argument("--fast", action="store_true")
+    v.add_argument("--max-states", type=int, default=6_000_000)
+
+    r = sub.add_parser("report", help="run the experiment battery, write markdown")
+    r.add_argument("--out", default="REPORT.md")
+    r.add_argument("--scale", type=float, default=1.0,
+                   help="workload size multiplier (0.5 = quick look)")
+    r.add_argument("--seed", type=int, default=1)
+
+    args = parser.parse_args(argv)
+    return {
+        "list": cmd_list,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "verify": cmd_verify,
+        "report": cmd_report,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

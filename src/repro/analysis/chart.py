@@ -1,0 +1,60 @@
+"""Terminal-friendly ASCII charts for experiment output.
+
+No plotting dependency is available offline, so the examples and bench
+summaries render simple horizontal bar charts and line sweeps as text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def bar_chart(
+    title: str,
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bars scaled to the maximum value."""
+    if not rows:
+        return title
+    peak = max(value for _label, value in rows) or 1.0
+    label_w = max(len(label) for label, _v in rows)
+    lines = [title]
+    for label, value in rows:
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(f"  {label.ljust(label_w)}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sweep_chart(
+    title: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+) -> str:
+    """Plot several series over a shared x axis with letter markers."""
+    lines = [title]
+    all_vals = [v for vs in series.values() for v in vs]
+    if not all_vals:
+        return title
+    lo, hi = min(all_vals), max(all_vals)
+    span = (hi - lo) or 1.0
+    markers = {}
+    grid = [[" "] * len(x_values) for _ in range(height)]
+    for idx, (name, values) in enumerate(sorted(series.items())):
+        mark = chr(ord("A") + idx)
+        markers[mark] = name
+        for col, value in enumerate(values):
+            row = height - 1 - round((value - lo) / span * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = "*" if cell not in (" ", mark) else mark
+    for row_idx, row in enumerate(grid):
+        level = hi - span * row_idx / (height - 1)
+        lines.append(f"  {level:8.2f} |" + " ".join(row))
+    lines.append(" " * 11 + "+" + "-" * (2 * len(x_values)))
+    lines.append(" " * 12 + " ".join(str(x)[0] for x in x_values))
+    lines.append("  x = " + ", ".join(str(x) for x in x_values))
+    for mark, name in markers.items():
+        lines.append(f"  {mark} = {name}" + ("   (* = overlap)" if mark == "A" else ""))
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Experiment harness helpers: run protocol x workload grids, normalize,
+and print paper-style tables.
+
+Every benchmark in ``benchmarks/`` builds on :func:`run_grid` /
+:class:`ResultTable` so its output shows measured values side by side with
+the paper's reference values (where the paper gives them numerically).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.common.params import SystemParams
+from repro.interconnect.traffic import Scope, TrafficClass
+from repro.system.machine import Machine, RunResult
+
+
+def run_one(
+    params: SystemParams,
+    protocol: str,
+    workload_factory: Callable[[SystemParams, int], object],
+    seed: int = 0,
+    max_events: Optional[int] = 80_000_000,
+) -> RunResult:
+    """Build a fresh machine + workload and run to completion."""
+    machine = Machine(params, protocol, seed=seed)
+    workload = workload_factory(params, seed)
+    return machine.run(workload, max_events=max_events)
+
+
+def mean_runtime(
+    params: SystemParams,
+    protocol: str,
+    workload_factory: Callable[[SystemParams, int], object],
+    seeds: Sequence[int] = (1,),
+    max_events: Optional[int] = 80_000_000,
+) -> float:
+    """Mean runtime (ps) over seeds — the paper's perturbed-runs analogue."""
+    total = 0.0
+    for seed in seeds:
+        total += run_one(params, protocol, workload_factory, seed, max_events).runtime_ps
+    return total / len(seeds)
+
+
+@dataclasses.dataclass
+class ResultTable:
+    """Rows of measured numbers with optional paper reference values."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = dataclasses.field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows)) if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        def fmt(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        lines = [self.title, fmt(self.columns), fmt(["-" * w for w in widths])]
+        lines += [fmt(r) for r in self.rows]
+        return "\n".join(lines)
+
+    def show(self) -> None:  # pragma: no cover - console output
+        print()
+        print(self.render())
+
+
+def traffic_breakdown_normalized(
+    results: Dict[str, RunResult], scope: Scope, baseline: str
+) -> Dict[str, Dict[TrafficClass, float]]:
+    """Per-protocol traffic by class, normalized to ``baseline``'s total."""
+    base_total = results[baseline].meter.scope_bytes(scope)
+    out: Dict[str, Dict[TrafficClass, float]] = {}
+    for name, res in results.items():
+        breakdown = res.meter.breakdown(scope)
+        out[name] = {
+            klass: (value / base_total if base_total else 0.0)
+            for klass, value in breakdown.items()
+        }
+    return out

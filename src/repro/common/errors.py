@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid or inconsistent configuration parameters."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a coherence controller observes an impossible event.
+
+    A ``ProtocolError`` always indicates a bug in a protocol implementation
+    (e.g. token conservation violated, an unexpected message in a state),
+    never a legal race.
+    """
+
+
+class DeadlockError(ReproError):
+    """Raised when the simulator runs out of events before workloads finish."""
+
+
+class VerificationError(ReproError):
+    """Raised by the model checker when a checked property is violated."""

@@ -1,0 +1,86 @@
+"""Lightweight statistics collection.
+
+A :class:`Stats` object is shared by all controllers in one simulated
+machine.  It holds named counters and simple online summaries; the traffic
+meter (bytes per message class per network) lives in
+:mod:`repro.interconnect.traffic` but registers itself here so reports can
+find it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class Summary:
+    """Online count/sum/min/max summary plus approximate percentiles.
+
+    Percentiles come from a bounded systematic sample: every value is kept
+    until the buffer fills, then the keep-rate halves (deterministic, no
+    RNG) — accurate enough for reporting p50/p95/p99 of miss latencies
+    without storing whole runs.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_sample", "_stride", "_limit")
+
+    def __init__(self, sample_limit: int = 2048) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._sample = []
+        self._stride = 1
+        self._limit = sample_limit
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if (self.count - 1) % self._stride == 0:
+            self._sample.append(value)
+            if len(self._sample) >= self._limit:
+                self._sample = self._sample[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (0 <= q <= 100) of the sampled stream."""
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        index = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Summary(n={self.count}, mean={self.mean:.1f})"
+
+
+class Stats:
+    """Named counters plus named :class:`Summary` streams."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.summaries: Dict[str, Summary] = defaultdict(Summary)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def sample(self, name: str, value: float) -> None:
+        self.summaries[name].add(value)
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        den = self.counters.get(denominator, 0)
+        return self.counters.get(numerator, 0) / den if den else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)

@@ -1,0 +1,336 @@
+"""Shared behaviour of token-coherence cache controllers (L1 and L2).
+
+Every cache is a peer in the **flat** correctness substrate: it counts
+tokens, remembers activated persistent requests in its own table, and
+forwards tokens to active persistent requests.  The *hierarchical*
+behaviour (where transient requests travel) lives entirely in the
+performance-policy hooks of the L1/L2 subclasses — exactly the separation
+the paper exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.params import SystemParams
+from repro.common.stats import Stats
+from repro.common.types import NodeId, NodeKind
+from repro.core.persistent import PersistentEntry, PersistentTable, persistent_read_share
+from repro.core.tokens import TokenEntry
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.memory.cache import CacheArray
+from repro.sim.kernel import Simulator
+from repro.system.config import ProtocolConfig
+
+_TOKEN_CARRIERS = (MsgType.TOK_DATA, MsgType.TOK_ACK, MsgType.TOK_WB, MsgType.TOK_WB_DATA)
+
+
+class TokenCacheController:
+    """A cache that obeys the token-coherence correctness substrate."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        sim: Simulator,
+        net: Network,
+        params: SystemParams,
+        stats: Stats,
+        cfg: ProtocolConfig,
+        array: CacheArray,
+        lookup_latency_ps: int,
+    ):
+        self.node = node
+        self.sim = sim
+        self.net = net
+        self.params = params
+        self.stats = stats
+        self.cfg = cfg
+        self.array = array
+        self.lookup_latency_ps = lookup_latency_ps
+        self.table = PersistentTable()
+        self._hold_recheck: set = set()
+        self._deferred: dict = {}  # addr -> [(event, fn, args)] parked on hold
+        net.register(node, self.handle)
+
+    # ------------------------------------------------------------------
+    @property
+    def chip(self) -> int:
+        return self.node.chip
+
+    def peek_entry(self, addr: int) -> Optional[TokenEntry]:
+        """Entry for ``addr`` without disturbing LRU (used by the ledger)."""
+        return self.array.lookup(addr, touch=False)
+
+    # ------------------------------------------------------------------
+    # Message handling.
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        """Network entry point: model the tag-lookup latency, then act."""
+        self.sim.schedule(self.lookup_latency_ps, self._process, msg)
+
+    def _process(self, msg: Message) -> None:
+        t = msg.mtype
+        if t in (MsgType.TOK_GETS, MsgType.TOK_GETX):
+            self._on_transient(msg)
+        elif t in _TOKEN_CARRIERS:
+            self._on_tokens(msg)
+        elif t is MsgType.PERSIST_ACTIVATE:
+            self._on_activate(msg)
+        elif t is MsgType.PERSIST_DEACTIVATE:
+            self._on_deactivate(msg)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"{self.node}: unexpected message {msg}")
+
+    # ------------------------------------------------------------------
+    # Token arrival (responses, writebacks — all the same to the substrate).
+    # ------------------------------------------------------------------
+    def _on_tokens(self, msg: Message) -> None:
+        if msg.tokens == 0 and not msg.owner:
+            return
+        entry = self._ensure_entry(msg.addr)
+        # The dirty bit is deliberately NOT inherited from the sender: it
+        # drives the migratory-sharing heuristic, which applies only when
+        # the *responding* cache itself modified the block (Section 4).
+        # Memory freshness needs no dirty bit — the owner token always
+        # travels with data and memory updates its image on owner return.
+        entry.absorb(msg.tokens, msg.owner, msg.data, dirty=False)
+        self._hook_absorbed(msg)
+        self._token_state_changed(msg.addr)
+
+    def _ensure_entry(self, addr: int) -> TokenEntry:
+        entry = self.array.lookup(addr)
+        if entry is None:
+            entry = TokenEntry()
+            victim = self.array.allocate(addr, entry, evictable=self._evictable)
+            if victim is not None:
+                self._writeback(*victim)
+        return entry
+
+    def _evictable(self, addr: int, entry: TokenEntry) -> bool:
+        return True  # L1 pins blocks with outstanding transactions
+
+    def _writeback(self, addr: int, entry: TokenEntry) -> None:
+        """Evicted tokens go down the hierarchy — no handshake needed."""
+        if entry.tokens == 0:
+            return
+        self.stats.bump("token.writebacks")
+        self._send_tokens(
+            dst=self._writeback_destination(addr),
+            addr=addr,
+            entry=entry,
+            give=entry.tokens,
+            give_owner=entry.owner,
+            include_data=entry.owner,
+            writeback=True,
+        )
+
+    def _writeback_destination(self, addr: int) -> NodeId:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Substrate reaction to any token-state change.
+    # ------------------------------------------------------------------
+    def _token_state_changed(self, addr: int) -> None:
+        entry = self.array.lookup(addr, touch=False)
+        if entry is not None and entry.tokens == 0:
+            self.array.deallocate(addr)
+            entry = None
+        if entry is not None and entry.tokens > 0:
+            active = self.table.active_for(addr)
+            if active is not None and active.requestor != self.node:
+                self._forward_persistent(addr, entry, active)
+                if entry.tokens == 0:
+                    self.array.deallocate(addr)
+        self._maybe_complete(addr)
+
+    def _forward_persistent(self, addr: int, entry: TokenEntry, active: PersistentEntry) -> None:
+        """Forward tokens to the active persistent request (Section 3.2)."""
+        if entry.hold_until > self.sim.now:
+            self._schedule_hold_recheck(addr, entry.hold_until)
+            return
+        if active.read:
+            if (
+                self.cfg.migratory
+                and entry.owner
+                and entry.dirty
+                and entry.tokens == self.params.tokens_per_block
+            ):
+                # Migratory sharing applies to persistent reads too: a
+                # locally-modified block moves whole, so the reader's
+                # subsequent write hits (giving more than the required
+                # all-but-one is always safe).
+                give = entry.tokens
+            else:
+                give = persistent_read_share(entry.tokens, entry.owner)
+        else:
+            give = entry.tokens
+        if give == 0:
+            return
+        give_owner = entry.owner  # the owner token (and data) always move first
+        self.stats.bump("persistent.forwards")
+        self._send_tokens(
+            dst=active.requestor,
+            addr=addr,
+            entry=entry,
+            give=give,
+            give_owner=give_owner,
+            include_data=give_owner,
+        )
+
+    def _schedule_hold_recheck(self, addr: int, when_ps: int) -> None:
+        if addr in self._hold_recheck:
+            return
+        self._hold_recheck.add(addr)
+
+        def _recheck() -> None:
+            self._hold_recheck.discard(addr)
+            self._token_state_changed(addr)
+
+        self._defer(addr, when_ps, _recheck)
+
+    # ------------------------------------------------------------------
+    # Hold-window deferral: actions parked until the response-delay window
+    # ends, released early when the hold is disarmed (lock release).
+    # ------------------------------------------------------------------
+    def _defer(self, addr: int, when_ps: int, fn, *args) -> None:
+        holder = self._deferred.setdefault(addr, [])
+        record = []
+
+        def _fire() -> None:
+            holder.remove(record[0])
+            fn(*args)
+
+        event = self.sim.schedule_at(when_ps, _fire)
+        record.append((event, fn, args))
+        holder.append(record[0])
+
+    def _flush_deferred(self, addr: int) -> None:
+        """Run all parked actions now (the hold window ended early)."""
+        for event, fn, args in self._deferred.pop(addr, []):
+            event.cancel()
+            fn(*args)
+        self._hold_recheck.discard(addr)
+
+    # ------------------------------------------------------------------
+    # Transient-request response rules (Section 4).
+    # ------------------------------------------------------------------
+    def _on_transient(self, msg: Message) -> None:
+        self._respond_transient(msg)
+
+    def _respond_transient(self, msg: Message) -> None:
+        addr = msg.addr
+        entry = self.array.lookup(addr, touch=False)
+        if entry is None or entry.tokens == 0 or msg.requestor == self.node:
+            return  # a cache only responds when it actually has tokens
+        if self.table.active_for(addr) is not None:
+            # An activated persistent request reserves this block's tokens:
+            # they are forwarded to its initiator, never to transients.
+            return
+        if entry.hold_until > self.sim.now:
+            # Response-delay mechanism: finish the critical section first.
+            self._defer(addr, entry.hold_until, self._respond_transient, msg)
+            return
+
+        T = self.params.tokens_per_block
+        local = msg.requestor.chip == self.chip
+        if msg.mtype is MsgType.TOK_GETX:
+            self._send_tokens(
+                msg.requestor, addr, entry,
+                give=entry.tokens, give_owner=entry.owner, include_data=entry.owner,
+            )
+            return
+
+        # Read request.
+        if self.cfg.migratory and entry.owner and entry.dirty and entry.tokens == T:
+            # Migratory sharing: hand over everything, reader will write.
+            self._send_tokens(
+                msg.requestor, addr, entry,
+                give=entry.tokens, give_owner=True, include_data=True,
+            )
+            self.stats.bump("token.migratory_transfers")
+        elif local:
+            if entry.valid_data and entry.tokens >= 2:
+                self._send_tokens(
+                    msg.requestor, addr, entry, give=1, give_owner=False, include_data=True,
+                )
+        else:
+            # A CMP responds to external reads only from the owner, and
+            # sends C tokens when possible to seed future local sharing.
+            if entry.owner:
+                want = self.params.caches_per_chip if self.cfg.read_tokens_c else 1
+                give = min(want, entry.tokens)
+                if give == entry.tokens:
+                    self._send_tokens(
+                        msg.requestor, addr, entry,
+                        give=give, give_owner=True, include_data=True,
+                    )
+                else:
+                    self._send_tokens(
+                        msg.requestor, addr, entry,
+                        give=give, give_owner=False, include_data=True,
+                    )
+
+        if entry.tokens == 0:
+            self.array.deallocate(addr)
+
+    # ------------------------------------------------------------------
+    # Persistent request table maintenance.
+    # ------------------------------------------------------------------
+    def _on_activate(self, msg: Message) -> None:
+        self.table.insert(
+            PersistentEntry(
+                proc=msg.extra,
+                requestor=msg.requestor,
+                addr=msg.addr,
+                read=msg.read,
+                prio=msg.prio,
+            )
+        )
+        self._token_state_changed(msg.addr)
+
+    def _on_deactivate(self, msg: Message) -> None:
+        self.table.remove(msg.extra, msg.addr)
+        self._token_state_changed(msg.addr)
+
+    # ------------------------------------------------------------------
+    # Low-level send helper.
+    # ------------------------------------------------------------------
+    def _send_tokens(
+        self,
+        dst: NodeId,
+        addr: int,
+        entry: TokenEntry,
+        give: int,
+        give_owner: bool,
+        include_data: bool,
+        writeback: bool = False,
+    ) -> None:
+        tokens, owner, data, dirty = entry.take(give, give_owner)
+        if not include_data and not owner:
+            data, dirty = None, False
+        if writeback:
+            mtype = MsgType.TOK_WB_DATA if data is not None else MsgType.TOK_WB
+        else:
+            mtype = MsgType.TOK_DATA if data is not None else MsgType.TOK_ACK
+        self.net.send(
+            Message(
+                mtype=mtype, src=self.node, dst=dst, addr=addr,
+                tokens=tokens, owner=owner, data=data, dirty=dirty,
+            )
+        )
+        if entry.tokens == 0:
+            self.array.deallocate(addr)  # no-op for already-evicted victims
+        self._hook_gave_tokens(addr, dst)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks.
+    # ------------------------------------------------------------------
+    def _maybe_complete(self, addr: int) -> None:
+        """L1 checks outstanding transactions here."""
+
+    def _hook_absorbed(self, msg: Message) -> None:
+        """Called after tokens are absorbed (timeout estimator, filter)."""
+
+    def _hook_gave_tokens(self, addr: int, dst: NodeId) -> None:
+        """Called after tokens leave this cache (filter upkeep)."""

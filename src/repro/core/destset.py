@@ -1,0 +1,60 @@
+"""Destination-set prediction for transient requests (paper Section 8).
+
+The paper notes TokenCMP's inter-CMP traffic grows with the number of
+CMPs "unless multicast with destination set predictions is employed
+[Martin et al., ISCA 2003]".  This module implements that extension: the
+home L2 bank predicts which chips actually need to see an escalated
+transient request — typically the block's last observed owner chip —
+and multicasts to the predicted set plus home memory instead of
+broadcasting to every CMP.
+
+Prediction is pure performance policy: a wrong set at worst makes the
+transient request fail, and the timeout/persistent fallback (which always
+broadcasts) restores progress.  The predictor trains on the two signals a
+bank naturally observes: external transient requests (their requestor's
+chip is about to hold tokens) and token arrivals from remote chips.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Set
+
+
+class DestinationSetPredictor:
+    """Bounded LRU map: block -> set of chips likely holding its tokens."""
+
+    def __init__(self, capacity: int = 8192, max_set_size: int = 2):
+        self.capacity = capacity
+        self.max_set_size = max_set_size
+        self._table: "OrderedDict[int, OrderedDict]" = OrderedDict()
+        self.hits = 0
+        self.broadcasts = 0
+
+    def train(self, addr: int, chip: int) -> None:
+        """Record that ``chip`` was seen holding (or taking) the block."""
+        chips = self._table.get(addr)
+        if chips is None:
+            if len(self._table) >= self.capacity:
+                self._table.popitem(last=False)
+            chips = OrderedDict()
+            self._table[addr] = chips
+        self._table.move_to_end(addr)
+        chips[chip] = True
+        chips.move_to_end(chip)
+        while len(chips) > self.max_set_size:
+            chips.popitem(last=False)  # keep the most recent holders
+
+    def forget(self, addr: int, chip: int) -> None:
+        chips = self._table.get(addr)
+        if chips is not None:
+            chips.pop(chip, None)
+
+    def predict(self, addr: int, all_chips: List[int], own_chip: int) -> Optional[List[int]]:
+        """Chips to multicast to, or None to fall back to full broadcast."""
+        chips = self._table.get(addr)
+        if not chips:
+            self.broadcasts += 1
+            return None
+        self.hits += 1
+        return [c for c in chips if c != own_chip]

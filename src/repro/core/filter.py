@@ -1,0 +1,55 @@
+"""Approximate L1-sharer filter for TokenCMP-dst1-filt (Section 4).
+
+Each L2 bank keeps an *approximate* directory of which local L1 caches may
+hold tokens for a block, and forwards external transient requests only to
+those caches, conserving intra-CMP bandwidth.  The filter may be wrong in
+either direction without affecting correctness: over-forwarding wastes a
+tag lookup, under-forwarding at worst makes a transient request fail
+(the correctness substrate's persistent requests — which are never
+filtered — still guarantee progress).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Set
+
+from repro.common.types import NodeId
+
+
+class SharerFilter:
+    """Bounded LRU map: block -> set of local L1 node ids that may hold it."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._table: "OrderedDict[int, Set[NodeId]]" = OrderedDict()
+        self.evictions = 0
+
+    def note_holder(self, addr: int, l1: NodeId) -> None:
+        """Record that ``l1`` may now hold tokens for ``addr``."""
+        sharers = self._table.get(addr)
+        if sharers is None:
+            if len(self._table) >= self.capacity:
+                self._table.popitem(last=False)
+                self.evictions += 1
+            sharers = set()
+            self._table[addr] = sharers
+        self._table.move_to_end(addr)
+        sharers.add(l1)
+
+    def note_release(self, addr: int, l1: NodeId) -> None:
+        """Record that ``l1`` gave up its tokens for ``addr``."""
+        sharers = self._table.get(addr)
+        if sharers is not None:
+            sharers.discard(l1)
+
+    def destinations(self, addr: int, all_l1s: List[NodeId]) -> List[NodeId]:
+        """L1s an external transient request should be forwarded to.
+
+        Unknown blocks (never seen, or evicted from the filter) fall back
+        to forwarding to every L1 — the safe, bandwidth-costly default.
+        """
+        sharers = self._table.get(addr)
+        if sharers is None:
+            return list(all_l1s)
+        return [l1 for l1 in all_l1s if l1 in sharers]

@@ -1,0 +1,325 @@
+"""Token-coherence L1 controller: processor requests and the performance
+policy's transient/persistent escalation ladder (Table 1 variants).
+
+The L1 data cache is where processor misses turn into coherence activity:
+
+1. broadcast a transient request within the CMP (the home L2 bank decides
+   whether to escalate it off-chip),
+2. on timeout, either retry (TokenCMP-dst4), or fall back to the
+   correctness substrate's persistent request (everything else) —
+   immediately for the ``*0`` variants, or preemptively when the
+   contention predictor fires (TokenCMP-dst1-pred).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional
+
+from repro.common.rng import substream
+from repro.common.types import NodeId, NodeKind
+from repro.core.base import TokenCacheController
+from repro.core.predictor import ContentionPredictor
+from repro.core.timeout import TimeoutEstimator
+from repro.cpu.ops import Load, Rmw, Store, is_write
+from repro.interconnect.message import Message, MsgType
+from repro.sim.kernel import Event
+
+
+@dataclasses.dataclass
+class Transaction:
+    """One outstanding L1 miss."""
+
+    op: object
+    addr: int
+    done: Callable[[int], None]
+    start_ps: int
+    is_write: bool
+    retries: int = 0
+    persistent: bool = False
+    waiting_wave: bool = False  # blocked by the marking rule
+    timer: Optional[Event] = None
+    data_source: Optional[str] = None  # who supplied the data (profiling)
+
+
+class TokenL1Controller(TokenCacheController):
+    """L1 cache (data or instruction) in the TokenCMP protocol."""
+
+    def __init__(self, *args, proc: int, seed: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.proc = proc
+        self.prio = self.params.persistent_priority(proc)
+        self.estimator = TimeoutEstimator()
+        self.predictor = (
+            ContentionPredictor(seed=seed + proc) if self.cfg.use_predictor else None
+        )
+        self.rng = substream(seed, "l1", self.node)
+        self.destset = None  # per-chip predictor, wired by the builder
+        self._tx: Dict[int, Transaction] = {}
+
+    def _writeback_destination(self, addr: int) -> NodeId:
+        return self.params.l2_bank(addr, self.chip)
+
+    # ------------------------------------------------------------------
+    # Processor interface.
+    # ------------------------------------------------------------------
+    def access(self, op, done: Callable[[int], None]) -> None:
+        """Perform a memory operation; ``done(result)`` at completion."""
+        addr = self.params.block_of(op.addr)
+        self.sim.schedule(self.lookup_latency_ps, self._attempt, op, addr, done)
+
+    def _attempt(self, op, addr: int, done: Callable[[int], None]) -> None:
+        entry = self.array.lookup(addr)
+        write = is_write(op)
+        if entry is not None and (
+            entry.can_write(self.params.tokens_per_block) if write else entry.can_read()
+        ):
+            self.stats.bump("l1.hits")
+            done(self._perform(op, addr))
+            return
+        self.stats.bump("l1.misses")
+        tx = Transaction(
+            op=op, addr=addr, done=done, start_ps=self.sim.now, is_write=write
+        )
+        self._tx[addr] = tx
+        self._start_policy(tx)
+
+    def _perform(self, op, addr: int) -> int:
+        """Execute the operation against the (now permitted) entry."""
+        entry = self.array.lookup(addr)
+        old = entry.value
+        if isinstance(op, Store):
+            entry.value = op.value
+        elif isinstance(op, Rmw):
+            entry.value = op.fn(old)
+        else:
+            return old
+        entry.dirty = True
+        if self.cfg.response_delay:
+            # Rajwar-style response delay: an atomic (lock acquire) arms a
+            # bounded hold so the critical section completes before the
+            # block can be stolen; a subsequent plain store to the same
+            # block (the lock release) disarms it so hand-off is instant.
+            if isinstance(op, Rmw):
+                entry.hold_until = max(
+                    entry.hold_until, self.sim.now + self.params.response_delay_ps
+                )
+            else:
+                entry.hold_until = self.sim.now
+                self._flush_deferred(addr)
+        return old
+
+    # ------------------------------------------------------------------
+    # Performance policy: transient requests, retries, escalation.
+    # ------------------------------------------------------------------
+    def _start_policy(self, tx: Transaction) -> None:
+        if self.cfg.max_transient == 0:
+            self._go_persistent(tx)
+            return
+        if self.predictor is not None and self.predictor.predict_contended(tx.addr):
+            self.stats.bump("policy.predicted_contended")
+            self._go_persistent(tx)
+            return
+        self._send_transient(tx, global_=False)
+        tx.timer = self.sim.schedule(self.estimator.threshold_ps(), self._on_timeout, tx)
+
+    def _transient_destinations(self, addr: int, global_: bool):
+        if self.cfg.flat_policy:
+            # TokenB: flat broadcast to every cache in the machine.
+            dests = [n for n in self.params.token_holders(addr) if n != self.node]
+            dests.append(self.params.home_mem(addr))
+            return dests
+        dests = [n for n in self.params.chip_l1s(self.chip) if n != self.node]
+        dests.append(self.params.l2_bank(addr, self.chip))
+        if global_:
+            for chip in self.params.all_chips():
+                if chip != self.chip:
+                    dests.append(self.params.l2_bank(addr, chip))
+            dests.append(self.params.home_mem(addr))
+        return dests
+
+    def _send_transient(self, tx: Transaction, global_: bool) -> None:
+        mtype = MsgType.TOK_GETX if tx.is_write else MsgType.TOK_GETS
+        self.stats.bump("policy.transient_requests")
+        for dst in self._transient_destinations(tx.addr, global_):
+            self.net.send(
+                Message(mtype=mtype, src=self.node, dst=dst, addr=tx.addr, requestor=self.node)
+            )
+
+    def _on_timeout(self, tx: Transaction) -> None:
+        if self._tx.get(tx.addr) is not tx:
+            return  # completed meanwhile
+        if self.predictor is not None:
+            self.predictor.train_timeout(tx.addr)
+        if tx.retries + 1 < self.cfg.max_transient:
+            tx.retries += 1
+            self.stats.bump("policy.retries")
+            # Pseudo-random backoff avoids lock-step retries (Section 4).
+            backoff = int(self.rng.random() * self.estimator.threshold_ps() / 2)
+            tx.timer = self.sim.schedule(backoff, self._retry, tx)
+        else:
+            self._go_persistent(tx)
+
+    def _retry(self, tx: Transaction) -> None:
+        if self._tx.get(tx.addr) is not tx:
+            return
+        self._send_transient(tx, global_=True)
+        tx.timer = self.sim.schedule(self.estimator.threshold_ps(), self._on_timeout, tx)
+
+    # ------------------------------------------------------------------
+    # Persistent requests (the correctness substrate takes over).
+    # ------------------------------------------------------------------
+    def _go_persistent(self, tx: Transaction) -> None:
+        tx.persistent = True
+        read = not tx.is_write
+        self.stats.bump("persistent.requests")
+        if read:
+            self.stats.bump("persistent.reads")
+        if self.cfg.activation == "arb":
+            self.net.send(
+                Message(
+                    mtype=MsgType.PERSIST_REQ,
+                    src=self.node,
+                    dst=self.params.home_arbiter(tx.addr),
+                    addr=tx.addr,
+                    requestor=self.node,
+                    prio=self.prio,
+                    read=read,
+                    extra=self.proc,
+                )
+            )
+        else:
+            if self.table.has_marked_for(tx.addr):
+                tx.waiting_wave = True  # wait for the current wave to drain
+                self.stats.bump("persistent.wave_blocked")
+            else:
+                self._dst_activate(tx, read)
+
+    def _dst_activate(self, tx: Transaction, read: bool) -> None:
+        tx.waiting_wave = False
+        from repro.core.persistent import PersistentEntry
+
+        self.table.insert(
+            PersistentEntry(
+                proc=self.proc, requestor=self.node, addr=tx.addr, read=read, prio=self.prio
+            )
+        )
+        for dst in self._persistent_broadcast_set(tx.addr):
+            self.net.send(
+                Message(
+                    mtype=MsgType.PERSIST_ACTIVATE,
+                    src=self.node,
+                    dst=dst,
+                    addr=tx.addr,
+                    requestor=self.node,
+                    prio=self.prio,
+                    read=read,
+                    extra=self.proc,
+                )
+            )
+        self._token_state_changed(tx.addr)
+
+    def _persistent_broadcast_set(self, addr: int):
+        dests = [n for n in self.params.token_holders(addr) if n != self.node]
+        dests.append(self.params.home_mem(addr))
+        return dests
+
+    def _deactivate(self, tx: Transaction) -> None:
+        if self.cfg.activation == "arb":
+            self.net.send(
+                Message(
+                    mtype=MsgType.PERSIST_DEACTIVATE,
+                    src=self.node,
+                    dst=self.params.home_arbiter(tx.addr),
+                    addr=tx.addr,
+                    requestor=self.node,
+                    extra=self.proc,
+                )
+            )
+            return
+        # Distributed scheme: remove our entry locally, mark the wave,
+        # and broadcast the deactivation; the next-highest request becomes
+        # active everywhere and our own table forwards the block directly.
+        self.table.remove(self.proc, tx.addr)
+        self.table.mark_all_for(tx.addr)
+        for dst in self._persistent_broadcast_set(tx.addr):
+            self.net.send(
+                Message(
+                    mtype=MsgType.PERSIST_DEACTIVATE,
+                    src=self.node,
+                    dst=dst,
+                    addr=tx.addr,
+                    requestor=self.node,
+                    extra=self.proc,
+                )
+            )
+
+    def _on_deactivate(self, msg: Message) -> None:
+        super()._on_deactivate(msg)
+        # The marking rule may now allow a deferred persistent request.
+        for tx in list(self._tx.values()):
+            if tx.waiting_wave and not self.table.has_marked_for(tx.addr):
+                self._dst_activate(tx, read=not tx.is_write)
+
+    # ------------------------------------------------------------------
+    # Substrate hooks.
+    # ------------------------------------------------------------------
+    def _evictable(self, addr: int, entry) -> bool:
+        return addr not in self._tx
+
+    def _hook_absorbed(self, msg: Message) -> None:
+        # TokenCMP estimates timeouts from memory responses only; TokenB
+        # averaged ALL responses, which the paper found causes retry
+        # bursts in an M-CMP (fast on-chip hits dominate the average).
+        if self.cfg.flat_policy or msg.src.kind is NodeKind.MEM:
+            tx = self._tx.get(msg.addr)
+            if tx is not None:
+                self.estimator.observe_memory_response(self.sim.now - tx.start_ps)
+        if msg.data is not None:
+            tx = self._tx.get(msg.addr)
+            if tx is not None:
+                tx.data_source = classify_source(msg.src, self.chip)
+        if (
+            self.destset is not None
+            and msg.src.chip != self.chip
+            and msg.src.kind is not NodeKind.MEM
+        ):
+            # A remote chip supplied tokens: remember it as a likely holder.
+            self.destset.train(msg.addr, msg.src.chip)
+
+    def _maybe_complete(self, addr: int) -> None:
+        tx = self._tx.get(addr)
+        if tx is None:
+            return
+        entry = self.array.lookup(addr, touch=False)
+        if entry is None:
+            return
+        satisfied = (
+            entry.can_write(self.params.tokens_per_block)
+            if tx.is_write
+            else entry.can_read()
+        )
+        if not satisfied:
+            return
+        del self._tx[addr]
+        if tx.timer is not None:
+            tx.timer.cancel()
+        result = self._perform(tx.op, addr)
+        self.stats.sample("l1.miss_latency_ps", self.sim.now - tx.start_ps)
+        source = tx.data_source or "tokens-only"
+        if tx.persistent:
+            source += "+persistent"
+        self.stats.bump(f"miss.src.{source}")
+        if tx.persistent and not tx.waiting_wave:
+            self._deactivate(tx)
+            self._token_state_changed(addr)  # hand contended block onward
+        tx.done(result)
+
+
+def classify_source(src: NodeId, own_chip: int) -> str:
+    """Profile label for where a miss's data came from."""
+    if src.kind is NodeKind.MEM:
+        return "memory"
+    local = "local" if src.chip == own_chip else "remote"
+    kind = "l2" if src.kind is NodeKind.L2 else "l1"
+    return f"{local}-{kind}"

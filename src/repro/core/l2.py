@@ -1,0 +1,117 @@
+"""Token-coherence L2 bank: shared cache, on-chip gateway, request filter.
+
+Besides acting as an ordinary token-holding cache, the home L2 bank plays
+two performance-policy roles (Section 4):
+
+* **Gateway** — when a local transient request is an L2-level miss (the
+  chip collectively cannot satisfy it, judged via the chip token ledger),
+  the bank broadcasts the request to the other CMPs' home banks and the
+  home memory controller.
+* **Ingress** — external transient requests arrive here and are
+  re-broadcast to the local L1 caches, optionally through the approximate
+  sharer filter (TokenCMP-dst1-filt) to save intra-CMP bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.types import NodeId, NodeKind
+from repro.core.base import TokenCacheController
+from repro.core.filter import SharerFilter
+from repro.core.ledger import ChipTokenLedger
+from repro.interconnect.message import Message, MsgType
+
+
+class TokenL2Controller(TokenCacheController):
+    """One L2 bank participating in TokenCMP."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ledger: Optional[ChipTokenLedger] = None  # wired by the builder
+        self.filter = SharerFilter() if self.cfg.use_filter else None
+        # Shared per-chip destination-set predictor (wired by the builder
+        # when the variant uses multicast): the chip's L1s train it with
+        # the responses they receive; the gateway consults it.
+        self.destset = None
+
+    def _writeback_destination(self, addr: int) -> NodeId:
+        return self.params.home_mem(addr)
+
+    # ------------------------------------------------------------------
+    def _on_transient(self, msg: Message) -> None:
+        if self.cfg.flat_policy:
+            # TokenB addresses every cache directly: the L2 bank is just
+            # another token holder — no gateway or ingress duties.
+            self._respond_transient(msg)
+            return
+        local = msg.requestor.chip == self.chip
+        if local:
+            # Decide escalation *before* responding so in-flight tokens
+            # from our own response don't skew the ledger.
+            if self._is_l2_miss(msg):
+                self._escalate(msg)
+            if self.filter is not None and msg.requestor.kind in (NodeKind.L1D, NodeKind.L1I):
+                self.filter.note_holder(msg.addr, msg.requestor)
+            self._respond_transient(msg)
+        else:
+            if self.destset is not None:
+                # The remote requestor is about to hold this block.
+                self.destset.train(msg.addr, msg.requestor.chip)
+            self._respond_transient(msg)
+            self._rebroadcast(msg)
+
+    def _is_l2_miss(self, msg: Message) -> bool:
+        assert self.ledger is not None, "ledger not wired"
+        if msg.mtype is MsgType.TOK_GETX:
+            return self.ledger.tokens_on_chip(msg.addr) < self.params.tokens_per_block
+        return not self.ledger.can_satisfy_read(
+            msg.addr, msg.requestor, self.params.tokens_per_block
+        )
+
+    def _escalate(self, msg: Message) -> None:
+        """Send an L2-level miss to the other CMPs (all of them, or the
+        predicted destination set) plus home memory."""
+        self.stats.bump("l2.escalations")
+        chips = [c for c in self.params.all_chips() if c != self.chip]
+        if self.destset is not None:
+            predicted = self.destset.predict(msg.addr, self.params.all_chips(), self.chip)
+            if predicted is not None:
+                chips = predicted
+                self.stats.bump("l2.multicasts")
+        for chip in chips:
+            self._forward(msg, self.params.l2_bank(msg.addr, chip))
+        self._forward(msg, self.params.home_mem(msg.addr))
+
+    def _rebroadcast(self, msg: Message) -> None:
+        """Deliver an external transient request to (filtered) local L1s."""
+        l1s = self.params.chip_l1s(self.chip)
+        if self.filter is not None:
+            dests = self.filter.destinations(msg.addr, l1s)
+            self.stats.bump("l2.filter_suppressed", len(l1s) - len(dests))
+        else:
+            dests = l1s
+        for dst in dests:
+            self._forward(msg, dst)
+
+    def _forward(self, msg: Message, dst: NodeId) -> None:
+        self.net.send(
+            Message(
+                mtype=msg.mtype, src=self.node, dst=dst, addr=msg.addr,
+                requestor=msg.requestor,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _hook_absorbed(self, msg: Message) -> None:
+        if (
+            self.filter is not None
+            and msg.mtype in (MsgType.TOK_WB, MsgType.TOK_WB_DATA)
+            and msg.src.chip == self.chip
+            and msg.src.kind in (NodeKind.L1D, NodeKind.L1I)
+        ):
+            # A local L1 wrote its tokens back: it no longer holds the block.
+            self.filter.note_release(msg.addr, msg.src)
+        if self.destset is not None and msg.src.chip != self.chip:
+            # Tokens arrived from a remote chip: it held the block.
+            self.destset.train(msg.addr, msg.src.chip)

@@ -1,0 +1,181 @@
+"""Token-coherence memory controller.
+
+Memory is just another (very large) token holder: initially it owns all
+``T`` tokens of every block homed at it.  It answers transient and
+persistent requests by the same counting rules as the caches, with DRAM
+latency added whenever it must read data.  Because the owner token always
+travels with data, writing the image whenever the owner token returns is
+sufficient to keep memory up to date.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.params import SystemParams
+from repro.common.stats import Stats
+from repro.common.types import NodeId
+from repro.core.persistent import PersistentEntry, PersistentTable, persistent_read_share
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.memory.dram import MemoryImage
+from repro.sim.kernel import Simulator
+
+
+class TokenMemController:
+    """Home memory controller in the TokenCMP protocol."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        sim: Simulator,
+        net: Network,
+        params: SystemParams,
+        stats: Stats,
+        cfg,
+    ):
+        self.node = node
+        self.sim = sim
+        self.net = net
+        self.params = params
+        self.stats = stats
+        self.cfg = cfg
+        self.image = MemoryImage()
+        self.table = PersistentTable()
+        self._tokens: Dict[int, int] = {}
+        self._owner: Dict[int, bool] = {}
+        net.register(node, self.handle)
+
+    # ------------------------------------------------------------------
+    def tokens_of(self, addr: int) -> int:
+        return self._tokens.get(addr, self.params.tokens_per_block)
+
+    def is_owner(self, addr: int) -> bool:
+        return self._owner.get(addr, True)
+
+    def _set(self, addr: int, tokens: int, owner: bool) -> None:
+        self._tokens[addr] = tokens
+        self._owner[addr] = owner
+
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> None:
+        self.sim.schedule(self.params.mem_ctrl_latency_ps, self._process, msg)
+
+    def _process(self, msg: Message) -> None:
+        t = msg.mtype
+        if t in (MsgType.TOK_GETS, MsgType.TOK_GETX):
+            self._on_transient(msg)
+        elif t in (MsgType.TOK_DATA, MsgType.TOK_ACK, MsgType.TOK_WB, MsgType.TOK_WB_DATA):
+            self._on_tokens(msg)
+        elif t is MsgType.PERSIST_ACTIVATE:
+            self.table.insert(
+                PersistentEntry(
+                    proc=msg.extra, requestor=msg.requestor, addr=msg.addr,
+                    read=msg.read, prio=msg.prio,
+                )
+            )
+            self._forward_check(msg.addr)
+        elif t is MsgType.PERSIST_DEACTIVATE:
+            self.table.remove(msg.extra, msg.addr)
+            self._forward_check(msg.addr)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"{self.node}: unexpected message {msg}")
+
+    # ------------------------------------------------------------------
+    def _on_tokens(self, msg: Message) -> None:
+        addr = msg.addr
+        tokens = self.tokens_of(addr) + msg.tokens
+        owner = self.is_owner(addr)
+        if msg.owner:
+            owner = True
+            assert msg.data is not None, "owner token must carry data"
+            self.image.write(addr, msg.data)
+        self._set(addr, tokens, owner)
+        self.stats.bump("mem.token_returns")
+        self._forward_check(addr)
+
+    def _on_transient(self, msg: Message) -> None:
+        addr = msg.addr
+        if self.table.active_for(addr) is not None:
+            return  # tokens reserved for the active persistent request
+        tokens = self.tokens_of(addr)
+        owner = self.is_owner(addr)
+        if msg.mtype is MsgType.TOK_GETX:
+            if tokens > 0:
+                self._respond(msg.requestor, addr, give=tokens, give_owner=owner)
+            return
+        # Read request: only the owner supplies data; include C tokens when
+        # possible to seed the requesting chip (Section 4).  When memory
+        # holds every token (block uncached anywhere) it gives them all —
+        # the token-coherence analogue of an exclusive-clean (E) grant, so
+        # a read-then-write first touch costs one miss, as in MOESI.
+        if not owner:
+            return
+        if tokens == self.params.tokens_per_block:
+            self._respond(msg.requestor, addr, give=tokens, give_owner=True)
+            return
+        want = self.params.caches_per_chip if self.cfg.read_tokens_c else 1
+        give = min(want, tokens)
+        if give == 0:
+            return
+        self._respond(msg.requestor, addr, give=give, give_owner=(give == tokens))
+
+    def _forward_check(self, addr: int) -> None:
+        active = self.table.active_for(addr)
+        if active is None:
+            return
+        tokens = self.tokens_of(addr)
+        owner = self.is_owner(addr)
+        if active.read:
+            if owner and tokens == self.params.tokens_per_block:
+                # Uncached block: grant everything (E-analogue), so a
+                # starving read-modify-write completes in one transfer.
+                self._respond(active.requestor, addr, give=tokens, give_owner=True)
+                return
+            give = persistent_read_share(tokens, owner)
+            if owner and give < tokens:
+                # Memory keeps the owner token but must still supply data.
+                if give == 0:
+                    give_owner = False
+                    # No spare tokens: nothing to send (some cache has >1).
+                    return
+                self._respond(active.requestor, addr, give=give, give_owner=False, force_data=True)
+                return
+        else:
+            give = tokens
+        if give == 0:
+            return
+        self._respond(active.requestor, addr, give=give, give_owner=owner)
+
+    # ------------------------------------------------------------------
+    def _respond(
+        self,
+        dst: NodeId,
+        addr: int,
+        give: int,
+        give_owner: bool,
+        force_data: bool = False,
+    ) -> None:
+        tokens = self.tokens_of(addr)
+        assert give <= tokens, "memory cannot give tokens it does not hold"
+        owner = self.is_owner(addr)
+        send_data = give_owner or force_data or (owner and not give_owner and False)
+        # Data is sent whenever the owner token moves, or when memory keeps
+        # ownership but the requestor still needs a valid copy (reads).
+        if owner and not give_owner:
+            send_data = True
+        delay = self.params.dram_latency_ps if send_data else 0
+        if send_data:
+            self.stats.bump("mem.dram_reads")
+        data = self.image.read(addr) if send_data else None
+        self._set(addr, tokens - give, owner and not give_owner)
+        msg = Message(
+            mtype=MsgType.TOK_DATA if send_data else MsgType.TOK_ACK,
+            src=self.node,
+            dst=dst,
+            addr=addr,
+            tokens=give,
+            owner=give_owner,
+            data=data,
+        )
+        self.sim.schedule(delay, self.net.send, msg)

@@ -1,0 +1,63 @@
+"""Contention predictor for TokenCMP-dst1-pred (Section 4).
+
+A four-way set-associative, 256-entry table of 2-bit saturating counters,
+indexed by block address.  A counter is allocated/incremented when a
+transient request times out; a block predicted contended (counter at
+threshold) skips the transient request and goes straight to a persistent
+request.  Counters are reset pseudo-randomly so the predictor adapts to
+phase changes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.common.rng import substream
+
+
+class ContentionPredictor:
+    """Set-associative table of saturating contention counters."""
+
+    def __init__(
+        self,
+        entries: int = 256,
+        assoc: int = 4,
+        threshold: int = 2,
+        max_count: int = 3,
+        reset_probability: float = 1 / 128,
+        seed: int = 0,
+    ):
+        self.num_sets = entries // assoc
+        self.assoc = assoc
+        self.threshold = threshold
+        self.max_count = max_count
+        self.reset_probability = reset_probability
+        self._sets: Dict[int, OrderedDict] = {}
+        self._rng = substream(seed, "predictor")
+
+    def _bucket(self, addr: int) -> OrderedDict:
+        return self._sets.setdefault((addr >> 6) % self.num_sets, OrderedDict())
+
+    def predict_contended(self, addr: int) -> bool:
+        """True if the block should go straight to a persistent request."""
+        bucket = self._bucket(addr)
+        count = bucket.get(addr)
+        if count is None:
+            return False
+        if self._rng.random() < self.reset_probability:
+            bucket[addr] = 0  # pseudo-random reset: re-learn this block
+            return False
+        bucket.move_to_end(addr)
+        return count >= self.threshold
+
+    def train_timeout(self, addr: int) -> None:
+        """A transient request for ``addr`` timed out; strengthen the hint."""
+        bucket = self._bucket(addr)
+        if addr in bucket:
+            bucket[addr] = min(self.max_count, bucket[addr] + 1)
+            bucket.move_to_end(addr)
+            return
+        if len(bucket) >= self.assoc:
+            bucket.popitem(last=False)  # evict LRU counter
+        bucket[addr] = 1

@@ -1,0 +1,38 @@
+"""Transient-request timeout estimation (Section 4).
+
+TokenB set its timeout from the running average of *all* response
+latencies, which the paper found caused bursts of premature retries in an
+M-CMP (fast on-chip hits dominate the average).  TokenCMP instead tracks
+only responses **from memory** — the slowest common supplier — and sets
+the timeout to a multiple of that average.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import ns
+
+
+class TimeoutEstimator:
+    """EWMA of memory-response latency; threshold = multiplier * average."""
+
+    def __init__(
+        self,
+        initial_ns: float = 300.0,
+        multiplier: float = 1.5,
+        alpha: float = 0.25,
+        floor_ns: float = 100.0,
+    ):
+        self._avg_ps = float(ns(initial_ns / multiplier))
+        self.multiplier = multiplier
+        self.alpha = alpha
+        self.floor_ps = ns(floor_ns)
+        self.samples = 0
+
+    def observe_memory_response(self, latency_ps: int) -> None:
+        """Record the latency of one response that came from memory."""
+        self._avg_ps += self.alpha * (latency_ps - self._avg_ps)
+        self.samples += 1
+
+    def threshold_ps(self) -> int:
+        """Current timeout threshold in picoseconds."""
+        return max(self.floor_ps, round(self._avg_ps * self.multiplier))

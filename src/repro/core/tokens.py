@@ -1,0 +1,133 @@
+"""Token state kept per block per cache (the correctness substrate's core).
+
+Safety is enforced purely by counting (Section 3.1): a block has a fixed
+total of ``T`` tokens, one of which is the *owner* token.  A cache may
+satisfy a load with >= 1 token plus valid data, and a store only with all
+``T`` tokens.  Messages carrying the owner token always carry valid data.
+
+Substrate invariants (checked by :func:`check_conservation` in tests and
+by the runtime debug checker):
+
+* the system-wide token count of a block is exactly ``T``;
+* exactly one owner token exists;
+* ``owner`` implies ``valid_data``;
+* any cache holding >= 1 token with ``valid_data`` agrees with the
+  owner's value (single-writer/multiple-reader invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.common.errors import ProtocolError
+
+
+class TokenEntry:
+    """Per-block token state at one cache."""
+
+    __slots__ = ("tokens", "owner", "valid_data", "dirty", "value", "hold_until")
+
+    def __init__(self) -> None:
+        self.tokens = 0
+        self.owner = False
+        self.valid_data = False
+        self.dirty = False
+        self.value = 0
+        self.hold_until = 0  # response-delay window end (ps)
+
+    def absorb(self, tokens: int, owner: bool, data: Optional[int], dirty: bool) -> None:
+        """Fold an incoming token/data transfer into this entry."""
+        if tokens < 0:
+            raise ProtocolError("cannot absorb a negative token count")
+        self.tokens += tokens
+        if owner:
+            if self.owner:
+                raise ProtocolError("duplicate owner token")
+            if data is None:
+                raise ProtocolError("owner token must travel with data")
+            self.owner = True
+        if data is not None:
+            self.value = data
+            self.valid_data = True
+        if dirty:
+            self.dirty = True
+
+    def take(self, tokens: int, take_owner: bool) -> Tuple[int, bool, Optional[int], bool]:
+        """Remove tokens for an outgoing message.
+
+        Returns ``(tokens, owner, data, dirty)`` ready for a message.  The
+        data value is included whenever the owner token moves (required)
+        or the entry can legally supply data (valid_data).
+        """
+        if tokens > self.tokens:
+            raise ProtocolError(f"giving {tokens} tokens but holding {self.tokens}")
+        if take_owner and not self.owner:
+            raise ProtocolError("giving the owner token without holding it")
+        self.tokens -= tokens
+        data = self.value if self.valid_data else None
+        dirty = self.dirty
+        if take_owner:
+            self.owner = False
+            self.dirty = False
+        if self.tokens == 0:
+            self.valid_data = False
+            self.dirty = False
+        return tokens, take_owner, data, dirty
+
+    @property
+    def empty(self) -> bool:
+        return self.tokens == 0 and not self.owner
+
+    def can_read(self) -> bool:
+        return self.tokens >= 1 and self.valid_data
+
+    def can_write(self, total_tokens: int) -> bool:
+        return self.tokens == total_tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f for f, on in (("O", self.owner), ("V", self.valid_data), ("D", self.dirty)) if on
+        )
+        return f"TokenEntry(t={self.tokens}{',' + flags if flags else ''}, v={self.value})"
+
+
+def check_conservation(
+    holders: Iterable[Tuple[str, TokenEntry]],
+    mem_tokens: int,
+    mem_owner: bool,
+    mem_value: int,
+    total_tokens: int,
+    in_flight: Iterable[Tuple[int, bool, Optional[int]]] = (),
+) -> None:
+    """Assert the substrate invariants for one block; raise ProtocolError.
+
+    ``holders`` are (name, entry) pairs for every cache; ``in_flight`` are
+    (tokens, owner, data) triples for undelivered messages.
+    """
+    count = mem_tokens
+    owners = 1 if mem_owner else 0
+    owner_value = mem_value if mem_owner else None
+    for name, entry in holders:
+        count += entry.tokens
+        if entry.owner:
+            owners += 1
+            owner_value = entry.value
+        if entry.owner and not entry.valid_data:
+            raise ProtocolError(f"{name}: owner without valid data")
+        if entry.tokens == 0 and entry.valid_data:
+            raise ProtocolError(f"{name}: valid data without tokens")
+    for tokens, owner, data in in_flight:
+        count += tokens
+        if owner:
+            owners += 1
+            owner_value = data
+    if count != total_tokens:
+        raise ProtocolError(f"token count {count} != T={total_tokens}")
+    if owners != 1:
+        raise ProtocolError(f"{owners} owner tokens in the system")
+    if owner_value is not None:
+        for name, entry in holders:
+            if entry.tokens >= 1 and entry.valid_data and entry.value != owner_value:
+                raise ProtocolError(
+                    f"{name}: stale data {entry.value} != owner value {owner_value}"
+                )

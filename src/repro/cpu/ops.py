@@ -1,0 +1,80 @@
+"""Memory operations and thread directives.
+
+Workload threads are Python generators that yield these objects; the
+thread driver resumes the generator with the operation's result (the
+loaded value, the overwritten value for stores, or the *old* value for
+atomic read-modify-writes, which is what test-and-set needs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+
+@dataclasses.dataclass(frozen=True)
+class Load:
+    """Read one word; generator receives the value read."""
+
+    addr: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Store:
+    """Write ``value``; generator receives the previous value."""
+
+    addr: int
+    value: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Rmw:
+    """Atomic read-modify-write: new = fn(old); generator receives old.
+
+    ``fn`` must be pure.  Examples: test-and-set ``lambda v: 1``,
+    fetch-and-increment ``lambda v: v + 1``.
+    """
+
+    addr: int
+    fn: Callable[[int], int]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fetch:
+    """Instruction fetch: a read serviced by the L1 *instruction* cache.
+
+    The generator receives the fetched value (usually ignored); code
+    blocks are read-only in practice, so fetches produce pure read
+    sharing."""
+
+    addr: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Batch:
+    """Independent memory operations issued concurrently.
+
+    Models the memory-level parallelism of an out-of-order core: all ops
+    are outstanding at once and the generator resumes with their results
+    in order once every one has completed.  Operations must target
+    distinct blocks (true dependencies belong in separate yields)."""
+
+    ops: tuple
+
+    def __init__(self, ops):
+        object.__setattr__(self, "ops", tuple(ops))
+
+
+@dataclasses.dataclass(frozen=True)
+class Think:
+    """Consume ``duration_ns`` of non-memory computation time."""
+
+    duration_ns: float
+
+
+MemOp = (Load, Store, Rmw, Fetch)
+
+
+def is_write(op) -> bool:
+    """Writes (and atomics) need exclusive permission."""
+    return isinstance(op, (Store, Rmw))

@@ -1,0 +1,78 @@
+"""Per-processor sequencer: the boundary between threads and coherence.
+
+The sequencer forwards one memory operation at a time to its L1 data
+cache controller and samples completion latency.  The simplified core
+model is blocking (one outstanding memory operation per processor); the
+think-time directives in workloads model computation between references.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.stats import Stats
+from repro.sim.kernel import Simulator
+
+
+class Sequencer:
+    """Issues memory operations for one processor.
+
+    Data operations go to the L1 data cache; instruction fetches go to
+    the L1 instruction cache (when the protocol build provides one —
+    PerfectL2 builds a second magic L1 for code).
+    """
+
+    def __init__(self, sim: Simulator, proc: int, l1d, stats: Stats, l1i=None):
+        self.sim = sim
+        self.proc = proc
+        self.l1d = l1d
+        self.l1i = l1i if l1i is not None else l1d
+        self.stats = stats
+        self._busy = False
+
+    def issue(self, op, done: Callable[[int], None]) -> None:
+        """Start ``op``; ``done(result)`` fires at completion time."""
+        from repro.cpu.ops import Fetch
+
+        assert not self._busy, f"proc {self.proc}: second op while one outstanding"
+        self._busy = True
+        start = self.sim.now
+        self.stats.bump("seq.ops")
+
+        def _complete(value: int) -> None:
+            self._busy = False
+            self.stats.sample("seq.latency_ps", self.sim.now - start)
+            done(value)
+
+        target = self.l1i if isinstance(op, Fetch) else self.l1d
+        target.access(op, _complete)
+
+    def issue_batch(self, ops, done: Callable[[list], None]) -> None:
+        """Issue independent ops concurrently; ``done(results)`` when all
+        complete (results in op order).  Ops must hit distinct blocks."""
+        from repro.cpu.ops import Fetch
+
+        assert not self._busy, f"proc {self.proc}: batch while op outstanding"
+        blocks = [self.l1d.params.block_of(op.addr) for op in ops]
+        if len(set(blocks)) != len(blocks):
+            raise ValueError("batch operations must target distinct blocks")
+        self._busy = True
+        start = self.sim.now
+        self.stats.bump("seq.ops", len(ops))
+        self.stats.bump("seq.batches")
+        results = [None] * len(ops)
+        remaining = {"n": len(ops)}
+
+        def _one(index: int):
+            def _complete(value) -> None:
+                results[index] = value
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    self._busy = False
+                    self.stats.sample("seq.latency_ps", self.sim.now - start)
+                    done(results)
+            return _complete
+
+        for index, op in enumerate(ops):
+            target = self.l1i if isinstance(op, Fetch) else self.l1d
+            target.access(op, _one(index))

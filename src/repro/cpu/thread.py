@@ -1,0 +1,61 @@
+"""Generator-based processor threads.
+
+A workload supplies one generator per processor.  The generator yields
+:class:`~repro.cpu.ops.Load` / :class:`~repro.cpu.ops.Store` /
+:class:`~repro.cpu.ops.Rmw` / :class:`~repro.cpu.ops.Think` objects and is
+resumed with each operation's result, so synchronization idioms
+(spin loops, test-and-set) read naturally::
+
+    def thread(...):
+        while (yield Load(lock)) != 0:
+            pass                       # spin until the lock looks free
+        if (yield Rmw(lock, lambda v: 1)) == 0:
+            ...                        # acquired
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.common.types import ns
+from repro.cpu.ops import Batch, Fetch, Load, Rmw, Store, Think
+from repro.cpu.sequencer import Sequencer
+from repro.sim.kernel import Simulator
+
+
+class ProcThread:
+    """Drives one workload generator on one sequencer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sequencer: Sequencer,
+        gen: Generator,
+        on_finish: Callable[["ProcThread"], None],
+    ):
+        self.sim = sim
+        self.sequencer = sequencer
+        self.gen = gen
+        self.on_finish = on_finish
+        self.finished = False
+        self.finish_time: Optional[int] = None
+
+    def start(self) -> None:
+        self.sim.schedule(0, self._advance, None)
+
+    def _advance(self, send_value) -> None:
+        try:
+            item = self.gen.send(send_value)
+        except StopIteration:
+            self.finished = True
+            self.finish_time = self.sim.now
+            self.on_finish(self)
+            return
+        if isinstance(item, Think):
+            self.sim.schedule(ns(item.duration_ns), self._advance, None)
+        elif isinstance(item, (Load, Store, Rmw, Fetch)):
+            self.sequencer.issue(item, self._advance)
+        elif isinstance(item, Batch):
+            self.sequencer.issue_batch(item.ops, self._advance)
+        else:
+            raise TypeError(f"workload yielded unsupported item {item!r}")

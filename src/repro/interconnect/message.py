@@ -1,0 +1,106 @@
+"""Coherence message definitions shared by all protocols.
+
+A :class:`MsgType` fixes a message's traffic class and whether it carries
+a data payload (and therefore its size: 72-byte data messages vs 8-byte
+control messages, Section 8).  The :class:`Message` dataclass carries the
+union of fields the protocols need; unused fields stay ``None``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Any, Optional
+
+from repro.common.types import NodeId
+from repro.interconnect.traffic import TrafficClass
+
+_K = TrafficClass
+
+
+class MsgType(enum.Enum):
+    """All message types, each tagged (traffic class, carries data).
+
+    The first tuple element repeats the member name so every enum value is
+    unique — otherwise members with equal (class, has_data) pairs would
+    silently become aliases of each other.
+    """
+
+    # ---- Token coherence (TokenCMP) ----
+    TOK_GETS = ("TOK_GETS", _K.REQUEST, False)  # transient read request
+    TOK_GETX = ("TOK_GETX", _K.REQUEST, False)  # transient write request
+    TOK_DATA = ("TOK_DATA", _K.RESPONSE_DATA, True)  # tokens + data response
+    TOK_ACK = ("TOK_ACK", _K.INV_FWD_ACK_TOKEN, False)  # tokens without data
+    TOK_WB_DATA = ("TOK_WB_DATA", _K.WRITEBACK_DATA, True)  # writeback with data
+    TOK_WB = ("TOK_WB", _K.WRITEBACK_CONTROL, False)  # writeback, tokens only
+    PERSIST_REQ = ("PERSIST_REQ", _K.PERSISTENT, False)  # to arbiter (arb scheme)
+    PERSIST_ACTIVATE = ("PERSIST_ACTIVATE", _K.PERSISTENT, False)
+    PERSIST_DEACTIVATE = ("PERSIST_DEACTIVATE", _K.PERSISTENT, False)
+
+    # ---- Hierarchical directory (DirectoryCMP) ----
+    DIR_GETS = ("DIR_GETS", _K.REQUEST, False)
+    DIR_GETX = ("DIR_GETX", _K.REQUEST, False)
+    DIR_FWD_GETS = ("DIR_FWD_GETS", _K.INV_FWD_ACK_TOKEN, False)
+    DIR_FWD_GETX = ("DIR_FWD_GETX", _K.INV_FWD_ACK_TOKEN, False)
+    DIR_INV = ("DIR_INV", _K.INV_FWD_ACK_TOKEN, False)
+    DIR_ACK = ("DIR_ACK", _K.INV_FWD_ACK_TOKEN, False)
+    DIR_DATA = ("DIR_DATA", _K.RESPONSE_DATA, True)
+    DIR_WB_REQ = ("DIR_WB_REQ", _K.WRITEBACK_CONTROL, False)  # 3-phase WB: 1
+    DIR_WB_GRANT = ("DIR_WB_GRANT", _K.WRITEBACK_CONTROL, False)  # 3-phase WB: 2
+    DIR_WB_DATA = ("DIR_WB_DATA", _K.WRITEBACK_DATA, True)  # 3-phase WB: 3
+    DIR_WB_TOKEN = ("DIR_WB_TOKEN", _K.WRITEBACK_CONTROL, False)  # clean WB notice
+    DIR_UNBLOCK = ("DIR_UNBLOCK", _K.UNBLOCK, False)
+    DIR_RECALL = ("DIR_RECALL", _K.INV_FWD_ACK_TOKEN, False)  # inclusion recall
+
+    def __init__(self, _name: str, klass: TrafficClass, has_data: bool) -> None:
+        self.klass = klass
+        self.has_data = has_data
+
+
+_msg_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class Message:
+    """One coherence message in flight.
+
+    ``addr`` is always block-aligned.  Protocol-specific payload fields:
+
+    * ``tokens`` / ``owner`` — token transfer (token protocol).
+    * ``data`` — the block's modelled data value (one int per block).
+    * ``requestor`` — the node the response should ultimately serve.
+    * ``req_type`` — for forwarded requests, the original request kind.
+    * ``acks`` — number of acknowledgements the receiver should expect.
+    * ``serial`` — requestor-local transaction id (stale-response filter).
+    * ``prio`` — persistent-request priority (smaller wins).
+    * ``extra`` — anything else (kept rare).
+    """
+
+    mtype: MsgType
+    src: NodeId
+    dst: NodeId
+    addr: int
+    tokens: int = 0
+    owner: bool = False
+    dirty: bool = False
+    data: Optional[int] = None
+    read: bool = False  # persistent-read flag (Section 3.2)
+    requestor: Optional[NodeId] = None
+    req_type: Optional[MsgType] = None
+    acks: int = 0
+    serial: int = 0
+    prio: int = 0
+    extra: Any = None
+    uid: int = dataclasses.field(default_factory=lambda: next(_msg_ids))
+
+    def size_bytes(self, data_bytes: int, control_bytes: int) -> int:
+        return data_bytes if self.mtype.has_data else control_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"{self.mtype.name} {self.src}->{self.dst} @{self.addr:#x}"]
+        if self.tokens:
+            bits.append(f"tok={self.tokens}{'+O' if self.owner else ''}")
+        if self.data is not None:
+            bits.append(f"data={self.data}")
+        return " ".join(bits)

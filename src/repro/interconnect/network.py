@@ -1,0 +1,151 @@
+"""Point-to-point interconnect model with latency and bandwidth.
+
+The target machine (Table 3) has three networks:
+
+* **intra-CMP**: directly connected on-chip network, 2 ns one-way links at
+  64 GB/s;
+* **inter-CMP**: directly connected global network between chip
+  interfaces, 20 ns links (including interface/wire/sync) at 16 GB/s;
+* **memory links**: each CMP to its off-chip memory controller, 20 ns.
+
+We model each network as per-source egress links with store-and-forward
+semantics: a message occupies a link for ``bytes / bandwidth`` and arrives
+after the link latency; back-to-back messages on one link queue behind
+each other.  A cross-chip message traverses (intra egress) -> (inter
+egress of the source chip) -> (intra egress of the destination chip's
+interface), so it consumes bandwidth on every network it crosses, which
+is what the paper's traffic figures measure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.errors import ConfigError
+from repro.common.params import SystemParams
+from repro.common.types import NodeId, NodeKind
+from repro.interconnect.message import Message
+from repro.interconnect.traffic import Scope, TrafficMeter
+from repro.sim.kernel import Simulator
+
+
+class Link:
+    """One egress link: fixed latency plus serialization at a bandwidth."""
+
+    __slots__ = ("name", "scope", "latency_ps", "bytes_per_ns", "busy_until", "bytes_carried")
+
+    def __init__(self, name: str, scope: Scope, latency_ps: int, bytes_per_ns: float):
+        self.name = name
+        self.scope = scope
+        self.latency_ps = latency_ps
+        self.bytes_per_ns = bytes_per_ns
+        self.busy_until = 0
+        self.bytes_carried = 0
+
+    def traverse(self, start_ps: int, nbytes: int) -> int:
+        """Occupy the link for one message; return its arrival time."""
+        serialization_ps = round(nbytes / self.bytes_per_ns * 1000)
+        begin = max(start_ps, self.busy_until)
+        self.busy_until = begin + serialization_ps
+        self.bytes_carried += nbytes
+        return begin + serialization_ps + self.latency_ps
+
+
+Handler = Callable[[Message], None]
+
+
+class Network:
+    """Routes messages between registered endpoints, collecting traffic."""
+
+    def __init__(self, sim: Simulator, params: SystemParams, meter: TrafficMeter):
+        self.sim = sim
+        self.params = params
+        self.meter = meter
+        self._endpoints: Dict[NodeId, Handler] = {}
+        self._intra: Dict[NodeId, Link] = {}
+        self._inter: Dict[int, Link] = {}
+        self._mem_out: Dict[int, Link] = {}
+        self._mem_in: Dict[int, Link] = {}
+        self._build_links()
+
+    def _build_links(self) -> None:
+        p = self.params
+        for chip in range(p.num_chips):
+            nodes = p.chip_l1s(chip) + p.chip_l2_banks(chip) + [p.iface_of(chip)]
+            for node in nodes:
+                self._intra[node] = Link(
+                    f"intra:{node}", Scope.INTRA, p.intra_link_latency_ps, p.intra_link_bw
+                )
+            self._inter[chip] = Link(
+                f"inter:{chip}", Scope.INTER, p.inter_link_latency_ps, p.inter_link_bw
+            )
+            self._mem_out[chip] = Link(
+                f"mem-out:{chip}", Scope.MEM, p.mem_link_latency_ps, p.mem_link_bw
+            )
+            self._mem_in[chip] = Link(
+                f"mem-in:{chip}", Scope.MEM, p.mem_link_latency_ps, p.mem_link_bw
+            )
+
+    # ------------------------------------------------------------------
+    def register(self, node: NodeId, handler: Handler) -> None:
+        """Attach a controller callback as the endpoint for ``node``."""
+        if node in self._endpoints:
+            raise ConfigError(f"endpoint {node} registered twice")
+        self._endpoints[node] = handler
+
+    def send(self, msg: Message) -> None:
+        """Route ``msg`` from ``msg.src`` to ``msg.dst`` and deliver it."""
+        if msg.dst not in self._endpoints:
+            raise ConfigError(f"no endpoint registered for {msg.dst}")
+        nbytes = msg.size_bytes(self.params.data_msg_bytes, self.params.control_msg_bytes)
+        arrival = self.sim.now
+        for link in self._path(msg.src, msg.dst):
+            arrival = link.traverse(arrival, nbytes)
+            self.meter.record(link.scope, msg.mtype.klass, nbytes)
+        self.sim.schedule_at(arrival, self._endpoints[msg.dst], msg)
+
+    # ------------------------------------------------------------------
+    def _path(self, src: NodeId, dst: NodeId) -> List[Link]:
+        """Egress links a message crosses from ``src`` to ``dst``."""
+        if src == dst:
+            return []
+        p = self.params
+        src_mem = src.kind in (NodeKind.MEM, NodeKind.ARB)
+        dst_mem = dst.kind in (NodeKind.MEM, NodeKind.ARB)
+
+        if src_mem and dst_mem:
+            if src.chip == dst.chip:  # arbiter <-> memory controller, same site
+                return []
+            return [self._mem_in[src.chip], self._inter[src.chip], self._mem_out[dst.chip]]
+
+        if src_mem:
+            links = [self._mem_in[src.chip]]
+            if src.chip != dst.chip:
+                links.append(self._inter[src.chip])
+                links.append(self._intra[p.iface_of(dst.chip)])
+            return links
+
+        if dst_mem:
+            links = [] if src.kind is NodeKind.IFACE else [self._intra[src]]
+            if src.chip != dst.chip:
+                links.append(self._inter[src.chip])
+            links.append(self._mem_out[dst.chip])
+            return links
+
+        # chip component to chip component
+        if src.chip == dst.chip:
+            return [self._intra[src]]
+        links = [] if src.kind is NodeKind.IFACE else [self._intra[src]]
+        links.append(self._inter[src.chip])
+        if dst.kind is not NodeKind.IFACE:
+            links.append(self._intra[p.iface_of(dst.chip)])
+        return links
+
+    # ------------------------------------------------------------------
+    def link_utilization(self) -> Dict[str, int]:
+        """Bytes carried per link (diagnostics)."""
+        out = {}
+        for table in (self._intra, self._inter, self._mem_out, self._mem_in):
+            for link in table.values():
+                out[link.name] = link.bytes_carried
+        return out

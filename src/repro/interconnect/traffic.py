@@ -1,0 +1,57 @@
+"""Traffic classification and byte accounting (paper Figures 7a/7b).
+
+Every message belongs to one :class:`TrafficClass`, mirroring the
+categories of the paper's traffic breakdown.  The :class:`TrafficMeter`
+counts bytes per (network scope, class); a message is charged once per
+link it traverses on each network, which is the bandwidth it actually
+consumes there.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, Tuple
+
+
+class TrafficClass(enum.Enum):
+    """Message classes used in the paper's Figure 7 breakdown."""
+
+    RESPONSE_DATA = "Response Data"
+    WRITEBACK_DATA = "Writeback Data"
+    WRITEBACK_CONTROL = "Writeback Control"
+    REQUEST = "Request"
+    INV_FWD_ACK_TOKEN = "Inv/Fwd/Acks/Tokens"
+    UNBLOCK = "Unblock"
+    PERSISTENT = "Persistent"
+
+
+class Scope(enum.Enum):
+    """Which physical network a link belongs to."""
+
+    INTRA = "intra"
+    INTER = "inter"
+    MEM = "mem"
+
+
+class TrafficMeter:
+    """Byte counters per (scope, traffic class) and message counts."""
+
+    def __init__(self) -> None:
+        self.bytes: Dict[Tuple[Scope, TrafficClass], int] = defaultdict(int)
+        self.messages: Dict[Scope, int] = defaultdict(int)
+
+    def record(self, scope: Scope, klass: TrafficClass, nbytes: int) -> None:
+        self.bytes[(scope, klass)] += nbytes
+        self.messages[scope] += 1
+
+    def scope_bytes(self, scope: Scope) -> int:
+        return sum(v for (s, _k), v in self.bytes.items() if s is scope)
+
+    def breakdown(self, scope: Scope) -> Dict[TrafficClass, int]:
+        """Bytes per class on one network, including zero entries."""
+        out = {klass: 0 for klass in TrafficClass}
+        for (s, klass), v in self.bytes.items():
+            if s is scope:
+                out[klass] += v
+        return out

@@ -1,0 +1,95 @@
+"""Set-associative cache arrays with LRU replacement.
+
+The array stores protocol-specific entry objects keyed by block address.
+Protocols mark entries un-evictable while a transaction is in flight via
+the ``evictable`` predicate passed to :meth:`CacheArray.allocate`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Optional, Tuple, TypeVar
+
+from repro.common.errors import ConfigError
+
+E = TypeVar("E")
+
+
+class CacheArray:
+    """A set-associative array mapping block addresses to entries."""
+
+    def __init__(self, size_bytes: int, assoc: int, block_size: int, name: str = "cache"):
+        if size_bytes % (assoc * block_size) != 0:
+            raise ConfigError(f"{name}: size must be a multiple of assoc*block_size")
+        self.name = name
+        self.assoc = assoc
+        self.block_size = block_size
+        self.num_sets = size_bytes // (assoc * block_size)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(f"{name}: number of sets must be a power of two")
+        self._sets: Dict[int, OrderedDict] = {}
+
+    def _set_of(self, addr: int) -> int:
+        return (addr // self.block_size) & (self.num_sets - 1)
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[E]:
+        """Return the entry for ``addr`` or None; optionally update LRU."""
+        bucket = self._sets.get(self._set_of(addr))
+        if bucket is None or addr not in bucket:
+            return None
+        if touch:
+            bucket.move_to_end(addr)
+        return bucket[addr]
+
+    def allocate(
+        self,
+        addr: int,
+        entry: E,
+        evictable: Callable[[int, E], bool] = lambda a, e: True,
+    ) -> Optional[Tuple[int, E]]:
+        """Insert ``entry`` for ``addr``, evicting the LRU entry if needed.
+
+        Returns the evicted ``(addr, entry)`` pair, or None if no eviction
+        was necessary.  Raises :class:`ConfigError` if the set is full and
+        nothing is evictable (callers should size MSHRs/sets to avoid it).
+        """
+        index = self._set_of(addr)
+        bucket = self._sets.setdefault(index, OrderedDict())
+        if addr in bucket:
+            bucket[addr] = entry
+            bucket.move_to_end(addr)
+            return None
+        victim = None
+        if len(bucket) >= self.assoc:
+            for vaddr in bucket:  # LRU order: oldest first
+                if evictable(vaddr, bucket[vaddr]):
+                    victim = (vaddr, bucket[vaddr])
+                    break
+            if victim is None:
+                raise ConfigError(f"{self.name}: set {index} full of un-evictable blocks")
+            del bucket[victim[0]]
+        bucket[addr] = entry
+        return victim
+
+    def deallocate(self, addr: int) -> Optional[E]:
+        """Remove and return the entry for ``addr`` (None if absent)."""
+        bucket = self._sets.get(self._set_of(addr))
+        if bucket is None:
+            return None
+        return bucket.pop(addr, None)
+
+    def __contains__(self, addr: int) -> bool:
+        return self.lookup(addr, touch=False) is not None
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._sets.values())
+
+    def items(self) -> Iterator[Tuple[int, E]]:
+        for bucket in self._sets.values():
+            yield from bucket.items()
+
+    def entries_in_set(self, addr: int) -> Iterator[Tuple[int, E]]:
+        """Entries of the set ``addr`` maps to, in LRU order (oldest first)."""
+        bucket = self._sets.get(self._set_of(addr))
+        if bucket is not None:
+            yield from bucket.items()

@@ -1,0 +1,26 @@
+"""Backing-store model.
+
+Each home memory controller owns a :class:`MemoryImage`: the modelled data
+value of every block whose home it is (one integer per 64-byte block; see
+DESIGN.md).  Blocks default to value 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MemoryImage:
+    """Sparse map from block address to the block's modelled value."""
+
+    def __init__(self) -> None:
+        self._values: Dict[int, int] = {}
+
+    def read(self, addr: int) -> int:
+        return self._values.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self._values[addr] = value
+
+    def __len__(self) -> int:
+        return len(self._values)

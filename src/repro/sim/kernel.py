@@ -1,0 +1,102 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event queue: events fire in (time, sequence)
+order, so two events scheduled for the same picosecond fire in the order
+they were scheduled.  Everything else in the simulator — networks, cache
+controllers, processor threads — is built as callbacks on this kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.common.errors import DeadlockError
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with picosecond time."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self.events_fired: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    def schedule(self, delay_ps: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay_ps`` picoseconds; returns a handle."""
+        if delay_ps < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay_ps})")
+        self._seq += 1
+        event = Event(self._now + delay_ps, self._seq, fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_ps: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute time ``time_ps`` (>= now)."""
+        return self.schedule(time_ps - self._now, fn, *args)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        expect_drain: bool = False,
+    ) -> int:
+        """Fire events until the queue drains (or a bound is hit).
+
+        ``until`` stops the clock at an absolute picosecond time;
+        ``max_events`` bounds total events (a runaway-protocol backstop).
+        With ``expect_drain`` the caller asserts the workload should finish
+        by itself; hitting ``max_events`` then raises :class:`DeadlockError`.
+        Returns the final simulated time.
+        """
+        fired = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                return self._now
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            fired += 1
+            self.events_fired += 1
+            if max_events is not None and fired >= max_events:
+                if expect_drain:
+                    raise DeadlockError(
+                        f"simulation did not finish within {max_events} events "
+                        f"(t={self._now} ps); likely protocol livelock"
+                    )
+                return self._now
+        return self._now

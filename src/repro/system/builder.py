@@ -1,0 +1,167 @@
+"""Builders: wire up every controller for one protocol family."""
+
+from __future__ import annotations
+
+from repro.common.types import NodeId, NodeKind
+from repro.memory.cache import CacheArray
+
+
+def _l1_array(params, node: NodeId) -> CacheArray:
+    return CacheArray(params.l1_size, params.l1_assoc, params.block_size, str(node))
+
+
+def _l2_array(params, node: NodeId) -> CacheArray:
+    return CacheArray(params.l2_bank_size, params.l2_assoc, params.block_size, str(node))
+
+
+def build_token_machine(machine) -> None:
+    """TokenCMP: flat token substrate + hierarchical performance policy."""
+    from repro.core.l1 import TokenL1Controller
+    from repro.core.l2 import TokenL2Controller
+    from repro.core.ledger import ChipTokenLedger
+    from repro.core.memctrl import TokenMemController
+    from repro.core.persistent import Arbiter
+
+    p = machine.params
+    per_chip_controllers = {chip: [] for chip in p.all_chips()}
+
+    for proc in range(p.num_procs):
+        for kind_node in (p.l1d_of(proc), p.l1i_of(proc)):
+            ctrl = TokenL1Controller(
+                kind_node,
+                machine.sim,
+                machine.net,
+                p,
+                machine.stats,
+                machine.cfg,
+                _l1_array(p, kind_node),
+                p.l1_latency_ps,
+                proc=proc,
+                seed=machine.seed,
+            )
+            machine.controllers[kind_node] = ctrl
+            per_chip_controllers[kind_node.chip].append(ctrl)
+            if kind_node.kind is NodeKind.L1D:
+                machine.l1ds.append(ctrl)
+            else:
+                machine.l1is.append(ctrl)
+
+    l2s = []
+    for chip in p.all_chips():
+        for node in p.chip_l2_banks(chip):
+            ctrl = TokenL2Controller(
+                node,
+                machine.sim,
+                machine.net,
+                p,
+                machine.stats,
+                machine.cfg,
+                _l2_array(p, node),
+                p.l2_latency_ps,
+            )
+            machine.controllers[node] = ctrl
+            per_chip_controllers[chip].append(ctrl)
+            l2s.append(ctrl)
+
+    for chip in p.all_chips():
+        ledger = ChipTokenLedger(per_chip_controllers[chip])
+        destset = None
+        if machine.cfg.use_multicast:
+            from repro.core.destset import DestinationSetPredictor
+
+            destset = DestinationSetPredictor()
+        for ctrl in per_chip_controllers[chip]:
+            if isinstance(ctrl, TokenL2Controller):
+                ctrl.ledger = ledger
+            ctrl.destset = destset
+
+    for chip in p.all_chips():
+        mem_node = NodeId(NodeKind.MEM, chip)
+        mem = TokenMemController(
+            mem_node, machine.sim, machine.net, p, machine.stats, machine.cfg
+        )
+        machine.controllers[mem_node] = mem
+        machine.mems[chip] = mem
+        if machine.cfg.activation == "arb":
+            arb_node = NodeId(NodeKind.ARB, chip)
+            machine.controllers[arb_node] = Arbiter(
+                arb_node, machine.sim, machine.net, p, machine.stats
+            )
+
+
+def build_directory_machine(machine) -> None:
+    """DirectoryCMP: two-level MOESI hierarchical directory protocol."""
+    from repro.directory.inter import InterDirController
+    from repro.directory.intra import IntraDirL2Controller
+    from repro.directory.l1 import DirL1Controller
+
+    p = machine.params
+    for proc in range(p.num_procs):
+        for node, bucket in ((p.l1d_of(proc), machine.l1ds),
+                             (p.l1i_of(proc), machine.l1is)):
+            ctrl = DirL1Controller(
+                node,
+                machine.sim,
+                machine.net,
+                p,
+                machine.stats,
+                machine.cfg,
+                _l1_array(p, node),
+            )
+            machine.controllers[node] = ctrl
+            bucket.append(ctrl)
+
+    for chip in p.all_chips():
+        for node in p.chip_l2_banks(chip):
+            ctrl = IntraDirL2Controller(
+                node,
+                machine.sim,
+                machine.net,
+                p,
+                machine.stats,
+                machine.cfg,
+                _l2_array(p, node),
+            )
+            machine.controllers[node] = ctrl
+
+    for chip in p.all_chips():
+        mem_node = NodeId(NodeKind.MEM, chip)
+        mem = InterDirController(
+            mem_node, machine.sim, machine.net, p, machine.stats, machine.cfg
+        )
+        machine.controllers[mem_node] = mem
+        machine.mems[chip] = mem
+
+
+def build_perfect_machine(machine) -> None:
+    """PerfectL2: infinite shared L2, magic coherence."""
+    from repro.perfect.perfectl2 import PerfectGlobalL2, PerfectL1Controller
+
+    p = machine.params
+    global_l2 = PerfectGlobalL2()
+    machine._perfect_l2 = global_l2
+    for proc in range(p.num_procs):
+        node = p.l1d_of(proc)
+        ctrl = PerfectL1Controller(node, machine.sim, p, machine.stats, global_l2)
+        machine.controllers[node] = ctrl
+        machine.l1ds.append(ctrl)
+        inode = p.l1i_of(proc)
+        ictrl = PerfectL1Controller(inode, machine.sim, p, machine.stats, global_l2)
+        machine.controllers[inode] = ictrl
+        machine.l1is.append(ictrl)
+
+
+def build_snooping_machine(machine) -> None:
+    """SnoopingSCMP: MOESI snooping over a logical bus (one chip)."""
+    from repro.snooping.protocol import SnoopCoordinator, SnoopL1Controller
+
+    p = machine.params
+    coordinator = SnoopCoordinator(machine.sim, p, machine.stats)
+    machine._snoop_coordinator = coordinator
+    for proc in range(p.num_procs):
+        for node, bucket in ((p.l1d_of(proc), machine.l1ds),
+                             (p.l1i_of(proc), machine.l1is)):
+            ctrl = SnoopL1Controller(node, machine.sim, p, machine.stats, coordinator)
+            coordinator.add_l1(ctrl)
+            machine.controllers[node] = ctrl
+            bucket.append(ctrl)

@@ -1,0 +1,657 @@
+"""Down-scaled models of the TokenCMP correctness substrate (Section 5).
+
+Three models, mirroring the paper's verification targets:
+
+* :class:`TokenSafetyModel` — token counting only, no starvation
+  prevention ("TokenCMP-safety"): used to verify safety cheaply.
+* :class:`TokenDstModel` — adds persistent requests with **distributed
+  activation** (tables at every site, fixed priority, marking rule).
+* :class:`TokenArbModel` — persistent requests with the **arbiter-based**
+  activation mechanism (fair FIFO at the home arbiter).
+
+Standard down-scaling is applied (paper Section 5): one block, two
+processor caches plus memory, a small token count, values from a 2-value
+data-independent domain, and a small bound on in-flight messages.  The
+performance policy is left completely nondeterministic: any cache may
+spontaneously send any legal combination of tokens anywhere, which means
+a successful check covers *every* performance policy, hierarchical ones
+included — the paper's key verification argument.
+
+State encoding (hashable tuples):
+  cache  = (tokens, owner, valid, value)
+  mem    = (tokens, owner, value)
+  net    = sorted tuple of messages
+  wants  = per-proc pending operation: None | 'r' | 'w'
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import VerificationError
+from repro.verification.checker import Model
+
+MEM = "mem"
+
+
+def _absorb(cache, tokens, owner, value):
+    ctok, cown, cval, cdata = cache
+    ntok = ctok + tokens
+    nown = cown or owner
+    if value is not None:
+        return (ntok, nown, True, value)
+    return (ntok, nown, cval if ntok > 0 else False, cdata if ntok > 0 else 0)
+
+
+def _take(cache, tokens, with_owner):
+    ctok, cown, cval, cdata = cache
+    rest = ctok - tokens
+    value = cdata if (with_owner or cval) else None
+    if rest == 0:
+        return (0, False, False, 0), value
+    return (rest, cown and not with_owner, cval, cdata), value
+
+
+class _TokenBase(Model):
+    """Shared mechanics: token transfers, memory, invariants."""
+
+    def __init__(self, n_caches: int = 2, total_tokens: int = 3, values: int = 2,
+                 net_cap: int = 2, coarse_sends: bool = False,
+                 atomic_broadcasts: bool = False):
+        self.n = n_caches
+        self.T = total_tokens
+        self.D = values
+        self.net_cap = net_cap
+        # Down-scaling levers: with coarse_sends the nondeterministic policy
+        # moves whole token holdings (the shape transient responses take);
+        # with atomic_broadcasts persistent activates/deactivates update all
+        # tables in one step (the atomic-broadcast abstraction).  Both keep
+        # the persistent-request models' state spaces tractable.
+        self.coarse_sends = coarse_sends
+        self.atomic_broadcasts = atomic_broadcasts
+
+    # -- state helpers ---------------------------------------------------
+    def _initial_core(self):
+        caches = tuple((0, False, False, 0) for _ in range(self.n))
+        mem = (self.T, True, 0)
+        net = ()
+        wants = tuple(None for _ in range(self.n))
+        return caches, mem, net, wants
+
+    # -- shared transitions ----------------------------------------------
+    def _want_transitions(self, state, make):
+        caches, mem, net, wants = state[:4]
+        out = []
+        for i in range(self.n):
+            if wants[i] is None:
+                for op in ("r", "w"):
+                    nw = wants[:i] + (op,) + wants[i + 1:]
+                    out.append((f"want_{op}{i}", make(state, wants=nw)))
+        return out
+
+    def _transfer_transitions(self, state, make):
+        """Nondeterministic performance policy: any legal token movement."""
+        caches, mem, net, wants = state[:4]
+        out = []
+        if len(net) >= self.net_cap:
+            pass
+        else:
+            for i, cache in enumerate(caches):
+                ctok, cown, cval, cdata = cache
+                if ctok == 0:
+                    continue
+                for give in ({ctok} if self.coarse_sends else {1, ctok}):
+                    for with_owner in ({False, cown} if give < ctok else {cown}):
+                        ncache, value = _take(cache, give, with_owner)
+                        if with_owner and value is None:
+                            continue
+                        msg_val = value if (with_owner or cval) else None
+                        for dst in list(range(self.n)) + [MEM]:
+                            if dst == i:
+                                continue
+                            msg = ("tok", dst, give, with_owner, msg_val)
+                            nc = caches[:i] + (ncache,) + caches[i + 1:]
+                            out.append((
+                                f"send{i}->{dst}",
+                                make(state, caches=nc, net=_add(net, msg)),
+                            ))
+            # Memory responds (nondeterministically) with one or all tokens.
+            mtok, mown, mval = mem
+            if mtok > 0:
+                for give in ({mtok} if self.coarse_sends else {1, mtok}):
+                    with_owner = mown and give == mtok
+                    for dst in range(self.n):
+                        msg = ("tok", dst, give, with_owner,
+                               mval if (mown or with_owner) else None)
+                        nmem = (mtok - give, mown and not with_owner, mval)
+                        out.append((
+                            f"mem->{dst}",
+                            make(state, mem=nmem, net=_add(net, msg)),
+                        ))
+        # Deliveries.
+        for msg in set(net):
+            if msg[0] != "tok":
+                continue
+            _kind, dst, tokens, owner, value = msg
+            nnet = _remove(net, msg)
+            if dst == MEM:
+                mtok, mown, mval = mem
+                nmem = (mtok + tokens, mown or owner, value if owner else mval)
+                out.append(("deliver_mem", make(state, mem=nmem, net=nnet)))
+            else:
+                nc = list(caches)
+                nc[dst] = _absorb(caches[dst], tokens, owner, value)
+                out.append((f"deliver{dst}", make(state, caches=tuple(nc), net=nnet)))
+        return out
+
+    def _can_complete(self, state, i) -> bool:
+        """Hook: models may gate completion (e.g. channel back-pressure)."""
+        return True
+
+    def _complete_transitions(self, state, make, on_complete=None):
+        caches, mem, net, wants = state[:4]
+        out = []
+        for i in range(self.n):
+            if not self._can_complete(state, i):
+                continue
+            ctok, cown, cval, cdata = caches[i]
+            if wants[i] == "r" and ctok >= 1 and cval:
+                nw = wants[:i] + (None,) + wants[i + 1:]
+                ns = make(state, wants=nw)
+                if on_complete is not None:
+                    ns = on_complete(ns, i)
+                out.append((f"read{i}", ns))
+            elif wants[i] == "w" and ctok == self.T:
+                ncache = (ctok, True, True, (cdata + 1) % self.D)
+                nc = caches[:i] + (ncache,) + caches[i + 1:]
+                nw = wants[:i] + (None,) + wants[i + 1:]
+                ns = make(state, caches=nc, wants=nw)
+                if on_complete is not None:
+                    ns = on_complete(ns, i)
+                out.append((f"write{i}", ns))
+        return out
+
+    # -- invariants --------------------------------------------------------
+    def check_invariants(self, state) -> None:
+        caches, mem, net, wants = state[:4]
+        total = mem[0]
+        owners = 1 if mem[1] else 0
+        owner_value = mem[2] if mem[1] else None
+        for tok, own, valid, value in caches:
+            total += tok
+            if own:
+                owners += 1
+                owner_value = value
+                if not valid:
+                    raise VerificationError("owner without valid data")
+            if valid and tok == 0:
+                raise VerificationError("valid data without tokens")
+        for msg in net:
+            if msg[0] == "tok":
+                total += msg[2]
+                if msg[3]:
+                    owners += 1
+                    owner_value = msg[4]
+        if total != self.T:
+            raise VerificationError(f"token conservation broken: {total} != {self.T}")
+        if owners != 1:
+            raise VerificationError(f"{owners} owner tokens")
+        for tok, own, valid, value in caches:
+            if valid and tok >= 1 and value != owner_value:
+                raise VerificationError(
+                    f"stale reader: {value} != owner {owner_value} "
+                    "(single-writer/multi-reader violated)"
+                )
+
+
+class TokenSafetyModel(_TokenBase):
+    """Token counting alone — verifies safety for ANY performance policy."""
+
+    name = "TokenCMP-safety"
+
+    def initial_states(self):
+        return [self._initial_core()]
+
+    @staticmethod
+    def _make(state, caches=None, mem=None, net=None, wants=None):
+        c, m, n, w = state
+        return (
+            caches if caches is not None else c,
+            mem if mem is not None else m,
+            net if net is not None else n,
+            wants if wants is not None else w,
+        )
+
+    def transitions(self, state):
+        out = []
+        out += self._want_transitions(state, self._make)
+        out += self._transfer_transitions(state, self._make)
+        out += self._complete_transitions(state, self._make)
+        return out
+
+    def is_quiescent(self, state):
+        _caches, _mem, net, wants = state
+        return not net and all(w is None for w in wants)
+
+    def canonicalize(self, state):
+        """Processors are fully symmetric in the safety model: fold each
+        state onto the lexicographically smallest processor relabeling
+        (the paper's symmetry-reduction technique)."""
+        return min((_permute_core(state, perm) for perm in _permutations(self.n)), key=repr)
+
+
+class TokenDstModel(_TokenBase):
+    """Substrate with distributed-activation persistent requests.
+
+    Extends the base state with persistent-request tables at every site
+    (both caches and memory) and activate/deactivate messages:
+
+      tables = per site, per proc: 0 absent | (1, read, marked)
+      pr     = per proc: None | 'req' (persistent request outstanding)
+    """
+
+    name = "TokenCMP-dst"
+
+    def initial_states(self):
+        caches, mem, net, wants = self._initial_core()
+        tables = tuple(tuple(0 for _ in range(self.n)) for _ in range(self.n + 1))
+        pr = tuple(None for _ in range(self.n))
+        return [(caches, mem, net, wants, tables, pr)]
+
+    @staticmethod
+    def _make(state, caches=None, mem=None, net=None, wants=None, tables=None, pr=None):
+        c, m, n, w, t, p = state
+        return (
+            caches if caches is not None else c,
+            mem if mem is not None else m,
+            net if net is not None else n,
+            wants if wants is not None else w,
+            tables if tables is not None else t,
+            pr if pr is not None else p,
+        )
+
+    # Site indexes: 0..n-1 = caches, n = memory.
+    def _active(self, table):
+        """Highest-priority (lowest proc id) present entry at one site."""
+        for proc in range(self.n):
+            if table[proc] != 0:
+                return proc, table[proc][1]
+        return None
+
+    def transitions(self, state):
+        caches, mem, net, wants, tables, pr = state
+        out = []
+        out += self._want_transitions(state, self._make)
+        out += self._transfer_transitions(state, self._make)
+        out += self._complete_transitions(state, self._make, self._on_complete)
+
+        # Issue a persistent request (gated by the local marking rule).
+        for i in range(self.n):
+            if wants[i] is None or pr[i] is not None:
+                continue
+            if any(e != 0 and e[2] for e in tables[i]):
+                continue  # wave rule: marked entries block re-issue
+            read = wants[i] == "r"
+            ntables = list(tables)
+            npr = pr[:i] + ("req",) + pr[i + 1:]
+            if self.atomic_broadcasts:
+                for site in range(self.n + 1):
+                    ntables[site] = _set_entry(tables[site], i, (1, read, False))
+                out.append((
+                    f"persist{i}",
+                    self._make(state, tables=tuple(ntables), pr=npr),
+                ))
+            else:
+                ntables[i] = _set_entry(tables[i], i, (1, read, False))
+                nnet = net
+                for site in range(self.n + 1):
+                    if site != i:
+                        nnet = _add(nnet, ("act", site, i, read))
+                out.append((
+                    f"persist{i}",
+                    self._make(state, net=nnet, tables=tuple(ntables), pr=npr),
+                ))
+
+        # Deliver activates/deactivates (per-site message mode only).
+        for msg in set(net):
+            if msg[0] == "act":
+                _k, site, proc, read = msg
+                ntables = list(tables)
+                ntables[site] = _set_entry(tables[site], proc, (1, read, False))
+                out.append((
+                    f"act@{site}",
+                    self._make(state, net=_remove(net, msg), tables=tuple(ntables)),
+                ))
+            elif msg[0] == "deact":
+                _k, site, proc = msg
+                ntables = list(tables)
+                ntables[site] = _set_entry(tables[site], proc, 0)
+                out.append((
+                    f"deact@{site}",
+                    self._make(state, net=_remove(net, msg), tables=tuple(ntables)),
+                ))
+
+        # Forward tokens to the active persistent request at each site.
+        if len(net) < self.net_cap:
+            for site in range(self.n):
+                act = self._active(tables[site])
+                if act is None or act[0] == site:
+                    continue
+                proc, read = act
+                ctok, cown, cval, cdata = caches[site]
+                if ctok == 0:
+                    continue
+                if read:
+                    # All-but-one; a lone owner token moves whole (with data).
+                    give = 1 if (cown and ctok == 1) else ctok - 1
+                else:
+                    give = ctok
+                if give <= 0:
+                    continue
+                ncache, value = _take(caches[site], give, cown)
+                msg = ("tok", proc, give, cown, value if (cown or cval) else None)
+                nc = caches[:site] + (ncache,) + caches[site + 1:]
+                out.append((
+                    f"fwd{site}->{proc}",
+                    self._make(state, caches=nc, net=_add(net, msg)),
+                ))
+            act = self._active(tables[self.n])
+            if act is not None:
+                proc, read = act
+                mtok, mown, mval = mem
+                give = mtok if not read else (mtok if mown else max(0, mtok - 1))
+                if mtok > 0 and give > 0:
+                    with_owner = mown and give == mtok
+                    msg = ("tok", proc, give, with_owner, mval if mown else None)
+                    nmem = (mtok - give, mown and not with_owner, mval)
+                    out.append((
+                        f"fwdmem->{proc}",
+                        self._make(state, mem=nmem, net=_add(net, msg)),
+                    ))
+        return out
+
+    def _on_complete(self, state, i):
+        """Completion under an outstanding persistent request deactivates it:
+        remove the local entry, mark the local wave, broadcast deactivates."""
+        caches, mem, net, wants, tables, pr = state
+        if pr[i] is None:
+            return state
+        ntables = list(tables)
+        local = _set_entry(tables[i], i, 0)
+        local = tuple(
+            (1, e[1], True) if e != 0 else 0 for e in local
+        )
+        ntables[i] = local
+        npr = pr[:i] + (None,) + pr[i + 1:]
+        if self.atomic_broadcasts:
+            for site in range(self.n + 1):
+                if site != i:
+                    ntables[site] = _set_entry(ntables[site], i, 0)
+            return self._make(state, tables=tuple(ntables), pr=npr)
+        nnet = net
+        for site in range(self.n + 1):
+            if site != i:
+                nnet = _add(nnet, ("deact", site, i))
+        return self._make(state, net=nnet, tables=tuple(ntables), pr=npr)
+
+    def is_quiescent(self, state):
+        caches, mem, net, wants, tables, pr = state
+        return (
+            not net
+            and all(w is None for w in wants)
+            and all(e == 0 for t in tables for e in t)
+            and all(p is None for p in pr)
+        )
+
+
+class TokenArbModel(_TokenBase):
+    """Substrate with arbiter-based persistent request activation.
+
+    The arbiter (at memory) fair-queues requests and activates one at a
+    time; sites record only the single active request.  Control messages
+    between a processor and the arbiter travel on a per-processor FIFO
+    channel — matching real implementations, where requests and
+    deactivations share an ordered path.  (Checking an early fully
+    unordered version of this model produced a counterexample: a
+    deactivation reordered around its own request leaves a stale request
+    that activates with nobody to deactivate it.  See EXPERIMENTS.md.)
+
+      site_act = per site: None | (proc, read)
+      arb      = (queue tuple of (proc, read), active or None)
+      chan     = per proc FIFO to the arbiter: ('req', read) | ('deact',)
+      pr       = per proc: None | 'req'
+    """
+
+    name = "TokenCMP-arb"
+
+    def initial_states(self):
+        caches, mem, net, wants = self._initial_core()
+        site_act = tuple(None for _ in range(self.n + 1))
+        arb = ((), None)
+        chan = tuple(() for _ in range(self.n))
+        pr = tuple(None for _ in range(self.n))
+        return [(caches, mem, net, wants, site_act, arb, chan, pr)]
+
+    @staticmethod
+    def _make(state, caches=None, mem=None, net=None, wants=None, site_act=None,
+              arb=None, chan=None, pr=None):
+        c, m, n, w, s, a, ch, p = state
+        return (
+            caches if caches is not None else c,
+            mem if mem is not None else m,
+            net if net is not None else n,
+            wants if wants is not None else w,
+            site_act if site_act is not None else s,
+            arb if arb is not None else a,
+            chan if chan is not None else ch,
+            pr if pr is not None else p,
+        )
+
+    def transitions(self, state):
+        caches, mem, net, wants, site_act, arb, chan, pr = state
+        out = []
+        out += self._want_transitions(state, self._make)
+        out += self._transfer_transitions(state, self._make)
+        out += self._complete_transitions(state, self._make, self._on_complete)
+
+        queue, active = arb
+        # Issue a persistent request (FIFO channel to the home arbiter;
+        # channel length is capped at 2, modelling queue back-pressure —
+        # and keeping the state space finite).
+        for i in range(self.n):
+            if wants[i] is not None and pr[i] is None and len(chan[i]) < 2:
+                nchan = _set_entry(chan, i, chan[i] + (("req", wants[i] == "r"),))
+                npr = pr[:i] + ("req",) + pr[i + 1:]
+                out.append((f"persist{i}", self._make(state, chan=nchan, pr=npr)))
+
+        # Arbiter consumes channel heads.
+        for i in range(self.n):
+            if not chan[i]:
+                continue
+            head, rest = chan[i][0], chan[i][1:]
+            nchan = _set_entry(chan, i, rest)
+            if head[0] == "req":
+                narb = (queue + ((i, head[1]),), active)
+                out.append((f"arb_enqueue{i}", self._make(
+                    state, chan=nchan, arb=narb)))
+            else:  # deactivation from processor i
+                if active is not None and active[0] == i:
+                    if self.atomic_broadcasts:
+                        nsa = tuple(None for _ in range(self.n + 1))
+                        out.append((f"arb_deactivate{i}", self._make(
+                            state, chan=nchan, site_act=nsa, arb=(queue, None))))
+                    else:
+                        nnet = net
+                        for site in range(self.n + 1):
+                            nnet = _add(nnet, ("clear", site))
+                        out.append((f"arb_deactivate{i}", self._make(
+                            state, chan=nchan, net=nnet, arb=(queue, None))))
+                else:
+                    # Request was satisfied by stray tokens while still
+                    # queued: cancel it before it ever activates.
+                    for qi, entry in enumerate(queue):
+                        if entry[0] == i:
+                            nq = queue[:qi] + queue[qi + 1:]
+                            out.append((f"arb_cancel{i}", self._make(
+                                state, chan=nchan, arb=(nq, active))))
+                            break
+
+        # Per-site activation delivery (message mode only).
+        for msg in set(net):
+            if msg[0] == "act":
+                _k, site, proc, read = msg
+                nsa = site_act[:site] + ((proc, read),) + site_act[site + 1:]
+                out.append((f"act@{site}", self._make(
+                    state, net=_remove(net, msg), site_act=nsa)))
+            elif msg[0] == "clear":
+                _k, site = msg
+                nsa = site_act[:site] + (None,) + site_act[site + 1:]
+                out.append((f"clear@{site}", self._make(
+                    state, net=_remove(net, msg), site_act=nsa)))
+
+        if active is None and queue:
+            (proc, read), rest = queue[0], queue[1:]
+            if self.atomic_broadcasts:
+                nsa = tuple((proc, read) for _ in range(self.n + 1))
+                out.append(("arb_activate", self._make(
+                    state, site_act=nsa, arb=(rest, (proc, read)))))
+            else:
+                nnet = net
+                for site in range(self.n + 1):
+                    nnet = _add(nnet, ("act", site, proc, read))
+                out.append(("arb_activate", self._make(
+                    state, net=nnet, arb=(rest, (proc, read)))))
+
+        # Sites forward tokens to the recorded active request.
+        if len(net) < self.net_cap:
+            for site in range(self.n):
+                if site_act[site] is None or site_act[site][0] == site:
+                    continue
+                proc, read = site_act[site]
+                ctok, cown, cval, cdata = caches[site]
+                if ctok == 0:
+                    continue
+                if read:
+                    give = 1 if (cown and ctok == 1) else ctok - 1
+                else:
+                    give = ctok
+                if give <= 0:
+                    continue
+                ncache, value = _take(caches[site], give, cown)
+                msg = ("tok", proc, give, cown, value if (cown or cval) else None)
+                nc = caches[:site] + (ncache,) + caches[site + 1:]
+                out.append((f"fwd{site}->{proc}",
+                            self._make(state, caches=nc, net=_add(net, msg))))
+            if site_act[self.n] is not None:
+                proc, read = site_act[self.n]
+                mtok, mown, mval = mem
+                give = mtok if not read else (mtok if mown else max(0, mtok - 1))
+                if mtok > 0 and give > 0:
+                    with_owner = mown and give == mtok
+                    msg = ("tok", proc, give, with_owner, mval if mown else None)
+                    nmem = (mtok - give, mown and not with_owner, mval)
+                    out.append((f"fwdmem->{proc}",
+                                self._make(state, mem=nmem, net=_add(net, msg))))
+        return out
+
+    def _can_complete(self, state, i) -> bool:
+        # Channel back-pressure: a processor with an outstanding persistent
+        # request retires only when its arbiter channel has drained (the
+        # deactivation needs the slot).  Keeps channels - and the state
+        # space - small without losing any interleaving that matters.
+        caches, mem, net, wants, site_act, arb, chan, pr = state
+        return pr[i] is None or not chan[i]
+
+    def _on_complete(self, state, i):
+        caches, mem, net, wants, site_act, arb, chan, pr = state
+        if pr[i] is None:
+            return state
+        npr = pr[:i] + (None,) + pr[i + 1:]
+        nchan = _set_entry(chan, i, chan[i] + (("deact",),))
+        return self._make(state, chan=nchan, pr=npr)
+
+    def is_quiescent(self, state):
+        caches, mem, net, wants, site_act, arb, chan, pr = state
+        return (
+            not net
+            and all(w is None for w in wants)
+            and all(s is None for s in site_act)
+            and arb == ((), None)
+            and all(not c for c in chan)
+            and all(p is None for p in pr)
+        )
+
+    def canonicalize(self, state):
+        """The arbiter treats processors uniformly (FIFO, no priorities),
+        so processor relabeling is a sound symmetry reduction here —
+        unlike the dst model, whose fixed priorities break it."""
+        return min(
+            (self._permute(state, perm) for perm in _permutations(self.n)),
+            key=repr,
+        )
+
+    def _permute(self, state, perm):
+        caches, mem, net, wants, site_act, arb, chan, pr = _permute_core(state, perm)
+        queue, active = arb
+        nqueue = tuple((perm[p], r) for p, r in queue)
+        nactive = (perm[active[0]], active[1]) if active is not None else None
+        nsa = [None] * (self.n + 1)
+        for old in range(self.n):
+            entry = site_act[old]
+            nsa[perm[old]] = (perm[entry[0]], entry[1]) if entry is not None else None
+        mem_entry = site_act[self.n]
+        nsa[self.n] = (perm[mem_entry[0]], mem_entry[1]) if mem_entry is not None else None
+        nchan = [None] * self.n
+        npr = [None] * self.n
+        for old in range(self.n):
+            nchan[perm[old]] = chan[old]
+            npr[perm[old]] = pr[old]
+        return (caches, mem, net, wants, tuple(nsa), (nqueue, nactive),
+                tuple(nchan), tuple(npr))
+
+
+# ---------------------------------------------------------------------------
+# Multiset helpers for the in-flight message pool (unordered network).
+# ---------------------------------------------------------------------------
+def _add(net: Tuple, msg) -> Tuple:
+    return tuple(sorted(net + (msg,), key=repr))
+
+
+def _remove(net: Tuple, msg) -> Tuple:
+    lst = list(net)
+    lst.remove(msg)
+    return tuple(lst)
+
+
+def _set_entry(table: Tuple, proc: int, entry) -> Tuple:
+    return table[:proc] + (entry,) + table[proc + 1:]
+
+
+# ---------------------------------------------------------------------------
+# Symmetry reduction helpers (processor permutations).
+# ---------------------------------------------------------------------------
+def _permutations(n: int):
+    import itertools
+
+    return list(itertools.permutations(range(n)))
+
+
+def _permute_msg(msg, perm):
+    if msg[0] == "tok":
+        _k, dst, tokens, owner, value = msg
+        if dst != MEM:
+            dst = perm[dst]
+        return ("tok", dst, tokens, owner, value)
+    return msg
+
+
+def _permute_core(state, perm):
+    """Relabel processors of a (caches, mem, net, wants) state."""
+    caches, mem, net, wants = state[:4]
+    ncaches = [None] * len(caches)
+    nwants = [None] * len(wants)
+    for old, new in enumerate(perm):
+        ncaches[new] = caches[old]
+        nwants[new] = wants[old]
+    nnet = tuple(sorted((_permute_msg(m, perm) for m in net), key=repr))
+    return (tuple(ncaches), mem, nnet, tuple(nwants)) + tuple(state[4:])

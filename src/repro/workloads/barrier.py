@@ -1,0 +1,70 @@
+"""Barrier micro-benchmark (paper Table 2, Table 4).
+
+Processors do local work (3000 ns, optionally with uniform variability),
+then synchronize at a sense-reversing barrier built from a lock-protected
+counter in one cache block and a sense flag in another, repeating for a
+fixed number of phases.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.common.rng import substream
+from repro.cpu.ops import Load, Rmw, Store, Think
+from repro.workloads.base import Workload
+from repro.workloads.locking import LOCK_FREE, test_and_set
+
+
+class BarrierWorkload(Workload):
+    """Sense-reversing barrier with lock-protected counter."""
+
+    name = "barrier"
+
+    def __init__(
+        self,
+        params,
+        phases: int = 100,
+        work_ns: float = 3000.0,
+        work_jitter_ns: float = 0.0,  # uniform(-jitter, +jitter)
+        seed: int = 0,
+    ):
+        super().__init__(params, seed)
+        self.phases = phases
+        self.work_ns = work_ns
+        self.work_jitter_ns = work_jitter_ns
+        self.lock = self.alloc.block()
+        self.counter = self.alloc.block()
+        self.flag = self.alloc.block()
+        self.completed_phases = [0] * params.num_procs
+
+    def generators(self) -> List[Generator]:
+        return [self._thread(p) for p in range(self.params.num_procs)]
+
+    def _thread(self, proc: int) -> Generator:
+        rng = substream(self.seed, "barrier", proc)
+        n = self.params.num_procs
+        sense = 0
+        for _ in range(self.phases):
+            work = self.work_ns
+            if self.work_jitter_ns:
+                work += rng.uniform(-self.work_jitter_ns, self.work_jitter_ns)
+            yield Think(max(0.0, work))
+            # Acquire the barrier lock.
+            while True:
+                if (yield Load(self.lock)) == LOCK_FREE:
+                    if (yield test_and_set(self.lock)) == LOCK_FREE:
+                        break
+            count = (yield Load(self.counter)) + 1
+            if count < n:
+                yield Store(self.counter, count)
+                yield Store(self.lock, LOCK_FREE)
+                # Spin on the sense flag in another block.
+                while (yield Load(self.flag)) == sense:
+                    pass
+            else:
+                yield Store(self.counter, 0)
+                yield Store(self.flag, 1 - sense)  # release everyone
+                yield Store(self.lock, LOCK_FREE)
+            sense = 1 - sense
+            self.completed_phases[proc] += 1

@@ -1,0 +1,72 @@
+"""Locking micro-benchmark (paper Table 2, Figures 2-3).
+
+Each processor repeatedly: thinks for 10 ns, picks a random lock
+(different from the last one it acquired), acquires it with
+test-and-test-and-set, holds it for 10 ns, and releases it — until it has
+performed a fixed number of acquires.  Contention is varied by the number
+of locks (2 = high contention ... 512 = low contention).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.common.rng import substream
+from repro.cpu.ops import Load, Rmw, Store, Think
+from repro.workloads.base import Workload
+
+LOCK_FREE = 0
+LOCK_HELD = 1
+
+
+def test_and_set(lock_addr: int) -> Rmw:
+    """Atomic test-and-set; the generator receives the *old* value."""
+    return Rmw(lock_addr, lambda v: LOCK_HELD)
+
+
+class LockingWorkload(Workload):
+    """The paper's locking micro-benchmark."""
+
+    name = "locking"
+
+    def __init__(
+        self,
+        params,
+        num_locks: int = 16,
+        acquires_per_proc: int = 32,
+        think_ns: float = 10.0,
+        hold_ns: float = 10.0,
+        seed: int = 0,
+    ):
+        super().__init__(params, seed)
+        self.num_locks = num_locks
+        self.acquires_per_proc = acquires_per_proc
+        self.think_ns = think_ns
+        self.hold_ns = hold_ns
+        self.locks = self.alloc.blocks(num_locks)
+        self.acquired_counts = [0] * params.num_procs
+
+    def generators(self) -> List[Generator]:
+        return [self._thread(p) for p in range(self.params.num_procs)]
+
+    def _thread(self, proc: int) -> Generator:
+        rng = substream(self.seed, "locking", proc)
+        last = -1
+        for _ in range(self.acquires_per_proc):
+            yield Think(self.think_ns)
+            if self.num_locks == 1:
+                pick = 0
+            else:
+                pick = rng.randrange(self.num_locks - 1)
+                if pick >= last:
+                    pick += 1  # uniform over locks != last
+            lock = self.locks[pick]
+            last = pick
+            # Test-and-test-and-set acquire.
+            while True:
+                if (yield Load(lock)) == LOCK_FREE:
+                    if (yield test_and_set(lock)) == LOCK_FREE:
+                        break
+            self.acquired_counts[proc] += 1
+            yield Think(self.hold_ns)
+            yield Store(lock, LOCK_FREE)

@@ -1,0 +1,58 @@
+"""Ping-pong micro-benchmark: raw sharing-miss hand-off latency.
+
+Two processors alternately write a flag block, each waiting for the
+other's value — the purest form of the read-modify-write sharing misses
+that commercial workloads are full of (paper Section 1).  The benchmark
+measures the end-to-end hand-off: for DirectoryCMP every transfer takes
+the indirection through both directory levels; for TokenCMP a broadcast
+finds the owner directly.
+
+``rounds`` full round trips are performed between a chosen pair of
+processors (same chip or different chips), so the workload isolates
+intra- vs inter-CMP hand-off latency.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.cpu.ops import Load, Store, Think
+from repro.workloads.base import Workload
+
+
+class PingPongWorkload(Workload):
+    """Two processors bounce one block back and forth."""
+
+    name = "pingpong"
+
+    def __init__(self, params, proc_a: int = 0, proc_b: int = None,
+                 rounds: int = 32, seed: int = 0):
+        super().__init__(params, seed)
+        self.proc_a = proc_a
+        # Default partner: first processor of the next chip (inter-CMP).
+        self.proc_b = proc_b if proc_b is not None else params.procs_per_chip
+        if self.proc_a == self.proc_b:
+            raise ValueError("ping-pong needs two distinct processors")
+        self.rounds = rounds
+        self.flag = self.alloc.block()
+        self.completed_rounds = 0
+
+    def generators(self) -> List[Generator]:
+        return [self._thread(p) for p in range(self.params.num_procs)]
+
+    def _thread(self, proc: int) -> Generator:
+        if proc == self.proc_a:
+            # A writes odd values, waits for B's even replies.
+            for i in range(self.rounds):
+                yield Store(self.flag, 2 * i + 1)
+                while (yield Load(self.flag)) != 2 * i + 2:
+                    pass
+                self.completed_rounds += 1
+        elif proc == self.proc_b:
+            # B waits for each odd value and answers with the next even.
+            for i in range(self.rounds):
+                while (yield Load(self.flag)) != 2 * i + 1:
+                    pass
+                yield Store(self.flag, 2 * i + 2)
+        else:
+            yield Think(1.0)

@@ -1,0 +1,55 @@
+"""Unit tests for the logical snooping bus."""
+
+from repro.common.types import ns
+from repro.sim.kernel import Simulator
+from repro.snooping.bus import BusTransaction, LogicalBus
+
+
+def test_bus_orders_transactions_fifo():
+    sim = Simulator()
+    bus = LogicalBus(sim)
+    seen = []
+    bus.attach(lambda txn: seen.append(txn.kind))
+    bus.request(BusTransaction("GETS", 0x40, "a"))
+    bus.request(BusTransaction("GETX", 0x80, "b"))
+    bus.request(BusTransaction("WB", 0xC0, "c"))
+    sim.run()
+    assert seen == ["GETS", "GETX", "WB"]
+    assert bus.transactions == 3
+
+
+def test_bus_occupancy_spaces_broadcasts():
+    sim = Simulator()
+    bus = LogicalBus(sim, occupancy_ns=10.0, arbitration_ns=4.0)
+    times = []
+    bus.attach(lambda txn: times.append(sim.now))
+    for i in range(3):
+        bus.request(BusTransaction("GETS", i * 64, "a"))
+    sim.run()
+    assert times[0] == ns(4)
+    assert times[1] - times[0] == ns(14)  # occupancy + next arbitration
+    assert times[2] - times[1] == ns(14)
+
+
+def test_bus_every_snooper_sees_every_transaction():
+    sim = Simulator()
+    bus = LogicalBus(sim)
+    seen = {1: [], 2: []}
+    bus.attach(lambda txn: seen[1].append(txn.addr))
+    bus.attach(lambda txn: seen[2].append(txn.addr))
+    bus.request(BusTransaction("GETS", 0x40, "a"))
+    sim.run()
+    assert seen[1] == seen[2] == [0x40]
+
+
+def test_bus_idle_then_new_request():
+    sim = Simulator()
+    bus = LogicalBus(sim)
+    seen = []
+    bus.attach(lambda txn: seen.append(sim.now))
+    bus.request(BusTransaction("GETS", 0, "a"))
+    sim.run()
+    first = seen[0]
+    bus.request(BusTransaction("GETS", 64, "a"))
+    sim.run()
+    assert len(seen) == 2 and seen[1] > first

@@ -1,0 +1,114 @@
+"""Unit tests for the set-associative cache array."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.memory.cache import CacheArray
+
+
+def tiny(assoc=2, sets=2, block=64):
+    return CacheArray(assoc * sets * block, assoc, block, "tiny")
+
+
+def addr_for_set(array, set_index, tag):
+    return (tag * array.num_sets + set_index) * array.block_size
+
+
+def test_lookup_miss_returns_none():
+    c = tiny()
+    assert c.lookup(0) is None
+    assert 0 not in c
+
+
+def test_allocate_and_lookup():
+    c = tiny()
+    c.allocate(0, "entry")
+    assert c.lookup(0) == "entry"
+    assert len(c) == 1
+
+
+def test_lru_eviction_order():
+    c = tiny(assoc=2)
+    a0 = addr_for_set(c, 0, 0)
+    a1 = addr_for_set(c, 0, 1)
+    a2 = addr_for_set(c, 0, 2)
+    c.allocate(a0, "A")
+    c.allocate(a1, "B")
+    victim = c.allocate(a2, "C")
+    assert victim == (a0, "A")  # oldest evicted
+    assert c.lookup(a1) == "B" and c.lookup(a2) == "C"
+
+
+def test_lookup_touch_refreshes_lru():
+    c = tiny(assoc=2)
+    a0 = addr_for_set(c, 0, 0)
+    a1 = addr_for_set(c, 0, 1)
+    a2 = addr_for_set(c, 0, 2)
+    c.allocate(a0, "A")
+    c.allocate(a1, "B")
+    c.lookup(a0)  # touch A: B becomes LRU
+    victim = c.allocate(a2, "C")
+    assert victim == (a1, "B")
+
+
+def test_untouched_lookup_does_not_refresh():
+    c = tiny(assoc=2)
+    a0 = addr_for_set(c, 0, 0)
+    a1 = addr_for_set(c, 0, 1)
+    a2 = addr_for_set(c, 0, 2)
+    c.allocate(a0, "A")
+    c.allocate(a1, "B")
+    c.lookup(a0, touch=False)
+    victim = c.allocate(a2, "C")
+    assert victim == (a0, "A")
+
+
+def test_evictable_predicate_skips_pinned():
+    c = tiny(assoc=2)
+    a0 = addr_for_set(c, 0, 0)
+    a1 = addr_for_set(c, 0, 1)
+    a2 = addr_for_set(c, 0, 2)
+    c.allocate(a0, "pinned")
+    c.allocate(a1, "B")
+    victim = c.allocate(a2, "C", evictable=lambda a, e: e != "pinned")
+    assert victim == (a1, "B")
+    assert c.lookup(a0, touch=False) == "pinned"
+
+
+def test_full_set_of_unevictable_raises():
+    c = tiny(assoc=2)
+    c.allocate(addr_for_set(c, 0, 0), "A")
+    c.allocate(addr_for_set(c, 0, 1), "B")
+    with pytest.raises(ConfigError):
+        c.allocate(addr_for_set(c, 0, 2), "C", evictable=lambda a, e: False)
+
+
+def test_reallocate_same_address_updates_entry():
+    c = tiny()
+    c.allocate(0, "old")
+    assert c.allocate(0, "new") is None
+    assert c.lookup(0) == "new"
+    assert len(c) == 1
+
+
+def test_deallocate():
+    c = tiny()
+    c.allocate(0, "X")
+    assert c.deallocate(0) == "X"
+    assert c.deallocate(0) is None
+    assert len(c) == 0
+
+
+def test_different_sets_do_not_conflict():
+    c = tiny(assoc=2, sets=2)
+    for tag in range(2):
+        c.allocate(addr_for_set(c, 0, tag), f"s0-{tag}")
+        c.allocate(addr_for_set(c, 1, tag), f"s1-{tag}")
+    assert len(c) == 4  # no evictions
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigError):
+        CacheArray(1000, 4, 64)  # not a multiple
+    with pytest.raises(ConfigError):
+        CacheArray(3 * 4 * 64, 4, 64)  # sets not a power of two

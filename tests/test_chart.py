@@ -1,0 +1,33 @@
+"""Tests for the ASCII chart helpers."""
+
+from repro.analysis.chart import bar_chart, sweep_chart
+
+
+def test_bar_chart_scales_to_peak():
+    text = bar_chart("t", [("a", 1.0), ("bb", 2.0)], width=10)
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].count("#") == 5
+    assert lines[2].count("#") == 10
+    assert "2.00" in lines[2]
+
+
+def test_bar_chart_empty():
+    assert bar_chart("t", []) == "t"
+
+
+def test_bar_chart_minimum_one_hash():
+    text = bar_chart("t", [("a", 0.001), ("b", 100.0)])
+    assert "#" in text.splitlines()[1]
+
+
+def test_sweep_chart_contains_markers_and_legend():
+    text = sweep_chart("sweep", [2, 8, 32], {"dir": [1.0, 1.1, 1.2], "tok": [2.0, 1.0, 0.5]})
+    assert "A = dir" in text
+    assert "B = tok" in text
+    assert "|" in text
+
+
+def test_sweep_chart_single_point():
+    text = sweep_chart("s", [1], {"only": [3.0]})
+    assert "A = only" in text

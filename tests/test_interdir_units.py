@@ -1,0 +1,161 @@
+"""Focused unit tests for the inter-CMP directory controller."""
+
+import pytest
+
+from repro.common.params import SystemParams
+from repro.common.stats import Stats
+from repro.common.types import NodeId, NodeKind
+from repro.directory.inter import InterDirController
+from repro.directory.states import GRANT_E, GRANT_M, GRANT_S
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import TrafficMeter
+from repro.sim.kernel import Simulator
+from repro.system.config import protocol
+
+
+BLOCK = 0  # homed at chip 0
+
+
+@pytest.fixture
+def rig():
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    sim = Simulator()
+    net = Network(sim, params, TrafficMeter())
+    stats = Stats()
+    dir_ = InterDirController(
+        NodeId(NodeKind.MEM, 0), sim, net, params, stats, protocol("DirectoryCMP")
+    )
+    inboxes = {}
+    for chip in params.all_chips():
+        node = params.l2_bank(BLOCK, chip)
+        inboxes[chip] = []
+        net.register(node, inboxes[chip].append)
+    return params, sim, net, stats, dir_, inboxes
+
+
+def _req(net, sim, params, mtype, chip, **kw):
+    src = params.l2_bank(BLOCK, chip)
+    net.send(Message(mtype=mtype, src=src, dst=NodeId(NodeKind.MEM, 0),
+                     addr=BLOCK, requestor=src, **kw))
+    sim.run()
+
+
+def _unblock(net, sim, params, chip, granted):
+    src = params.l2_bank(BLOCK, chip)
+    net.send(Message(MsgType.DIR_UNBLOCK, src, NodeId(NodeKind.MEM, 0),
+                     addr=BLOCK, requestor=src, extra=granted))
+    sim.run()
+
+
+def test_cold_gets_grants_exclusive(rig):
+    params, sim, net, stats, dir_, inboxes = rig
+    _req(net, sim, params, MsgType.DIR_GETS, chip=0)
+    (msg,) = inboxes[0]
+    assert msg.mtype is MsgType.DIR_DATA and msg.extra == GRANT_E
+    _unblock(net, sim, params, 0, GRANT_E)
+    line = dir_.lines[BLOCK]
+    assert line.state == "M" and line.owner_chip == 0 and not line.busy
+
+
+def test_gets_to_owned_block_forwards(rig):
+    params, sim, net, stats, dir_, inboxes = rig
+    _req(net, sim, params, MsgType.DIR_GETS, chip=0)
+    _unblock(net, sim, params, 0, GRANT_E)
+    inboxes[0].clear()
+    _req(net, sim, params, MsgType.DIR_GETS, chip=1)
+    (fwd,) = inboxes[0]  # owner chip receives the forward
+    assert fwd.mtype is MsgType.DIR_FWD_GETS
+    assert stats.get("interdir.forwards") == 1
+
+
+def test_share_unblock_builds_owner_plus_sharer(rig):
+    params, sim, net, stats, dir_, inboxes = rig
+    _req(net, sim, params, MsgType.DIR_GETS, chip=0)
+    _unblock(net, sim, params, 0, GRANT_E)
+    _req(net, sim, params, MsgType.DIR_GETS, chip=1)
+    _unblock(net, sim, params, 1, GRANT_S)
+    line = dir_.lines[BLOCK]
+    assert line.state == "O" and line.owner_chip == 0
+    assert line.sharer_chips == {1}
+
+
+def test_getx_invalidates_sharers_with_ack_count(rig):
+    params, sim, net, stats, dir_, inboxes = rig
+    # chips 0 and 1 both share (memory owner): build S state.
+    _req(net, sim, params, MsgType.DIR_GETS, chip=0)
+    _unblock(net, sim, params, 0, GRANT_S)
+    _req(net, sim, params, MsgType.DIR_GETS, chip=1)
+    _unblock(net, sim, params, 1, GRANT_S)
+    for box in inboxes.values():
+        box.clear()
+    _req(net, sim, params, MsgType.DIR_GETX, chip=0)
+    (inv,) = inboxes[1]
+    assert inv.mtype is MsgType.DIR_INV
+    (data,) = inboxes[0]
+    assert data.mtype is MsgType.DIR_DATA and data.acks == 1 and data.extra == GRANT_M
+
+
+def test_busy_block_defers_requests(rig):
+    params, sim, net, stats, dir_, inboxes = rig
+    _req(net, sim, params, MsgType.DIR_GETS, chip=0)  # busy until unblock
+    _req(net, sim, params, MsgType.DIR_GETS, chip=1)  # deferred
+    assert stats.get("interdir.deferred_requests") == 1
+    assert len(inboxes[1]) == 0
+    _unblock(net, sim, params, 0, GRANT_E)
+    # The deferred request now proceeds (forwarded to the new owner).
+    assert any(m.mtype is MsgType.DIR_FWD_GETS for m in inboxes[0])
+
+
+def test_three_phase_writeback_returns_ownership(rig):
+    params, sim, net, stats, dir_, inboxes = rig
+    _req(net, sim, params, MsgType.DIR_GETS, chip=0)
+    _unblock(net, sim, params, 0, GRANT_E)
+    inboxes[0].clear()
+    _req(net, sim, params, MsgType.DIR_WB_REQ, chip=0)
+    (grant,) = inboxes[0]
+    assert grant.mtype is MsgType.DIR_WB_GRANT
+    src = params.l2_bank(BLOCK, 0)
+    net.send(Message(MsgType.DIR_WB_DATA, src, dir_.node, BLOCK,
+                     requestor=src, data=42, dirty=True))
+    sim.run()
+    line = dir_.lines[BLOCK]
+    assert line.state == "I" and line.owner_chip is None
+    assert dir_.image.read(BLOCK) == 42
+
+
+def test_clean_eviction_notice_updates_sharers(rig):
+    params, sim, net, stats, dir_, inboxes = rig
+    _req(net, sim, params, MsgType.DIR_GETS, chip=0)
+    _unblock(net, sim, params, 0, GRANT_S)
+    src = params.l2_bank(BLOCK, 0)
+    net.send(Message(MsgType.DIR_WB_TOKEN, src, dir_.node, BLOCK,
+                     requestor=src, extra="notice"))
+    sim.run()
+    line = dir_.lines[BLOCK]
+    assert line.state == "I" and not line.sharer_chips
+
+
+def test_zero_cycle_directory_skips_lookup_latency():
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    latencies = {}
+    for name in ("DirectoryCMP", "DirectoryCMP-zero"):
+        sim = Simulator()
+        net = Network(sim, params, TrafficMeter())
+        dir_ = InterDirController(
+            NodeId(NodeKind.MEM, 0), sim, net, params, Stats(), protocol(name)
+        )
+        node = params.l2_bank(BLOCK, 0)
+        got = []
+        net.register(node, lambda m: got.append(sim.now))
+        net.register(params.l2_bank(BLOCK, 1), lambda m: None)
+        # Set up an owner so the request is a FORWARD (control decision).
+        dir_.lines[BLOCK] = __import__("repro.directory.states", fromlist=["HomeLine"]).HomeLine(
+            state="M", owner_chip=0
+        )
+        net.send(Message(MsgType.DIR_GETS, params.l2_bank(BLOCK, 1), dir_.node,
+                         BLOCK, requestor=params.l2_bank(BLOCK, 1)))
+        sim.run()
+        latencies[name] = got[0]
+    assert latencies["DirectoryCMP-zero"] < latencies["DirectoryCMP"]
+    assert latencies["DirectoryCMP"] - latencies["DirectoryCMP-zero"] == params.dram_latency_ps

@@ -1,0 +1,96 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.sim.kernel import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(100, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    sim.schedule(5, event.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_schedule_during_run_extends_simulation():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(10, lambda: sim.schedule_at(50, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [50]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(100, fired.append, 2)
+    sim.run(until=50)
+    assert fired == [1]
+    assert sim.now == 50
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_max_events_with_expect_drain_raises():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(DeadlockError):
+        sim.run(max_events=100, expect_drain=True)
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    assert sim.pending == 2
+    e1.cancel()
+    assert sim.pending == 1

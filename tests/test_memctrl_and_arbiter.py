@@ -1,0 +1,141 @@
+"""Focused unit tests for the token memory controller and the arbiter."""
+
+import pytest
+
+from repro.common.params import SystemParams
+from repro.common.types import NodeId, NodeKind
+from repro.core.memctrl import TokenMemController
+from repro.core.persistent import Arbiter
+from repro.common.stats import Stats
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import TrafficMeter
+from repro.sim.kernel import Simulator
+from repro.system.config import protocol
+
+
+@pytest.fixture
+def rig():
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    sim = Simulator()
+    net = Network(sim, params, TrafficMeter())
+    stats = Stats()
+    mem = TokenMemController(
+        NodeId(NodeKind.MEM, 0), sim, net, params, stats, protocol("TokenCMP-dst1")
+    )
+    inbox = []
+    requestor = params.l1d_of(0)
+    net.register(requestor, inbox.append)
+    # register remaining endpoints as sinks so broadcasts don't error
+    for node in params.token_holders(0):
+        if node != requestor:
+            net.register(node, lambda m: None)
+    return params, sim, net, stats, mem, requestor, inbox
+
+
+BLOCK = 0  # homed at chip 0
+
+
+def _send(net, sim, mem, mtype, requestor, **kw):
+    net.send(Message(mtype=mtype, src=requestor, dst=mem.node, addr=BLOCK,
+                     requestor=requestor, **kw))
+    sim.run()
+
+
+def test_memory_initially_owns_all_tokens(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    assert mem.tokens_of(BLOCK) == params.tokens_per_block
+    assert mem.is_owner(BLOCK)
+
+
+def test_gets_on_uncached_block_grants_everything(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    _send(net, sim, mem, MsgType.TOK_GETS, requestor)
+    (msg,) = inbox
+    assert msg.tokens == params.tokens_per_block and msg.owner
+    assert msg.data == 0
+    assert mem.tokens_of(BLOCK) == 0 and not mem.is_owner(BLOCK)
+
+
+def test_gets_with_partial_tokens_sends_c_tokens(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    mem._set(BLOCK, 12, True)  # some tokens out in the system
+    _send(net, sim, mem, MsgType.TOK_GETS, requestor)
+    (msg,) = inbox
+    assert msg.tokens == params.caches_per_chip  # C tokens
+    assert not msg.owner and msg.data is not None  # memory keeps ownership
+    assert mem.tokens_of(BLOCK) == 12 - params.caches_per_chip
+
+
+def test_getx_takes_all_memory_tokens(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    _send(net, sim, mem, MsgType.TOK_GETX, requestor)
+    (msg,) = inbox
+    assert msg.tokens == params.tokens_per_block and msg.owner
+
+
+def test_nonowner_memory_ignores_reads(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    mem._set(BLOCK, 4, False)
+    _send(net, sim, mem, MsgType.TOK_GETS, requestor)
+    assert inbox == []  # only the owner answers reads
+
+
+def test_owner_writeback_updates_image(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    mem._set(BLOCK, 0, False)
+    _send(net, sim, mem, MsgType.TOK_WB_DATA, requestor,
+          tokens=params.tokens_per_block, owner=True, data=99)
+    assert mem.is_owner(BLOCK)
+    assert mem.image.read(BLOCK) == 99
+
+
+def test_memory_dram_latency_charged_for_data(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    t0 = sim.now
+    _send(net, sim, mem, MsgType.TOK_GETS, requestor)
+    # ctrl 6ns + dram 80ns + 2 mem-link hops ~20ns each + serialization.
+    assert sim.now - t0 >= params.mem_ctrl_latency_ps + params.dram_latency_ps
+
+
+def test_memory_reserves_tokens_for_persistent_requests(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    other = params.l1d_of(3)
+    # Activate a persistent request from another processor...
+    net.send(Message(MsgType.PERSIST_ACTIVATE, other, mem.node, BLOCK,
+                     requestor=other, prio=3, read=False, extra=3))
+    sim.run()
+    assert mem.tokens_of(BLOCK) == 0  # all forwarded to the initiator
+    # ...then a transient from someone else gets nothing even if tokens
+    # come back meanwhile.
+    _send(net, sim, mem, MsgType.TOK_WB_DATA, requestor,
+          tokens=4, owner=False, data=None)
+    _send(net, sim, mem, MsgType.TOK_GETS, requestor)
+    assert all(m.dst != requestor for m in inbox)
+
+
+def test_arbiter_fifo_and_cancellation(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    arb = Arbiter(NodeId(NodeKind.ARB, 0), sim, net, params, stats)
+
+    def preq(proc, node):
+        net.send(Message(MsgType.PERSIST_REQ, node, arb.node, BLOCK,
+                         requestor=node, prio=proc, read=False, extra=proc))
+
+    a, b = params.l1d_of(1), params.l1d_of(2)
+    preq(1, a)
+    preq(2, b)
+    sim.run()
+    assert arb._active is not None and arb._active.extra == 1
+    assert len(arb._queue) == 1
+    # b's request is satisfied by stray tokens while queued: cancel it.
+    net.send(Message(MsgType.PERSIST_DEACTIVATE, b, arb.node, BLOCK,
+                     requestor=b, extra=2))
+    sim.run()
+    assert len(arb._queue) == 0
+    assert stats.get("arb.cancelled_in_queue") == 1
+    # a deactivates normally: nothing remains active.
+    net.send(Message(MsgType.PERSIST_DEACTIVATE, a, arb.node, BLOCK,
+                     requestor=a, extra=1))
+    sim.run()
+    assert arb._active is None

@@ -1,0 +1,200 @@
+"""Unit-level tests of individual model transitions (verification models).
+
+The exhaustive checker covers reachability; these tests pin down specific
+transition semantics so model bugs fail with readable assertions instead
+of thousand-state counterexamples.
+"""
+
+import pytest
+
+from repro.verification.dir_model import DirFlatModel, M as DIR_M
+from repro.verification.token_model import (
+    MEM,
+    TokenArbModel,
+    TokenDstModel,
+    TokenSafetyModel,
+    _absorb,
+    _take,
+)
+
+
+# ---------------------------------------------------------------------------
+# Token-state helpers.
+# ---------------------------------------------------------------------------
+def test_absorb_accumulates_tokens_and_data():
+    cache = (0, False, False, 0)
+    cache = _absorb(cache, 2, False, None)
+    assert cache == (2, False, False, 0)
+    cache = _absorb(cache, 1, True, 7)
+    assert cache == (3, True, True, 7)
+
+
+def test_take_all_clears_validity():
+    cache = (3, True, True, 7)
+    ncache, value = _take(cache, 3, True)
+    assert ncache == (0, False, False, 0)
+    assert value == 7
+
+
+def test_take_partial_keeps_data():
+    cache = (3, True, True, 7)
+    ncache, value = _take(cache, 2, True)  # owner leaves, one token stays
+    assert ncache == (1, False, True, 7)
+    assert value == 7
+
+
+# ---------------------------------------------------------------------------
+# Safety model transitions.
+# ---------------------------------------------------------------------------
+def initial(model):
+    (state,) = model.initial_states()
+    return state
+
+
+def labels(model, state):
+    return {label for label, _n in model.transitions(state)}
+
+
+def test_safety_initial_memory_owns_everything():
+    model = TokenSafetyModel()
+    caches, mem, net, wants = initial(model)
+    assert mem == (model.T, True, 0)
+    assert all(c == (0, False, False, 0) for c in caches)
+
+
+def test_safety_wants_and_memory_sends_enabled_initially():
+    model = TokenSafetyModel()
+    state = initial(model)
+    names = labels(model, state)
+    assert "want_r0" in names and "want_w1" in names
+    assert "mem->0" in names
+    assert "read0" not in names  # nothing readable yet
+
+
+def test_safety_write_needs_all_tokens():
+    model = TokenSafetyModel()
+    caches, mem, net, wants = initial(model)
+    # Give cache 0 all tokens and a write want.
+    caches = ((model.T, True, True, 0),) + caches[1:]
+    mem = (0, False, 0)
+    wants = ("w",) + wants[1:]
+    state = (caches, mem, net, wants)
+    assert "write0" in labels(model, state)
+    # One token short: no write.
+    caches = ((model.T - 1, True, True, 0),) + ((1, False, False, 0),)
+    state = (caches, mem, net, wants)
+    assert "write0" not in labels(model, state)
+
+
+def test_safety_write_increments_value_mod_domain():
+    model = TokenSafetyModel()
+    caches = ((model.T, True, True, model.D - 1), (0, False, False, 0))
+    state = (caches, (0, False, 0), (), ("w", None))
+    (next_state,) = [n for l, n in model.transitions(state) if l == "write0"]
+    assert next_state[0][0][3] == 0  # wrapped around
+
+
+def test_safety_net_cap_blocks_new_sends():
+    model = TokenSafetyModel(net_cap=1)
+    caches = ((model.T, True, True, 0), (0, False, False, 0))
+    net = (("tok", 1, 0, False, None),)  # pretend one message in flight
+    state = (caches, (0, False, 0), net, (None, None))
+    assert not any(l.startswith("send0") for l in labels(model, state))
+
+
+# ---------------------------------------------------------------------------
+# Distributed-activation model.
+# ---------------------------------------------------------------------------
+def test_dst_persist_requires_want():
+    model = TokenDstModel(coarse_sends=True, atomic_broadcasts=True)
+    state = initial(model)
+    assert not any(l.startswith("persist") for l in labels(model, state))
+
+
+def test_dst_atomic_persist_updates_all_tables():
+    model = TokenDstModel(coarse_sends=True, atomic_broadcasts=True)
+    caches, mem, net, wants, tables, pr = initial(model)
+    state = (caches, mem, net, ("r", None), tables, pr)
+    (next_state,) = [n for l, n in model.transitions(state) if l == "persist0"]
+    _c, _m, _n, _w, ntables, npr = next_state
+    assert npr[0] == "req"
+    for site_table in ntables:
+        assert site_table[0] != 0  # entry present at every site
+
+
+def test_dst_marking_blocks_reissue():
+    model = TokenDstModel(coarse_sends=True, atomic_broadcasts=True)
+    caches, mem, net, wants, tables, pr = initial(model)
+    # Proc 0 wants again, but its local table holds a marked entry of proc 1.
+    tables = ((0, (1, True, True)),) + tables[1:]
+    state = (caches, mem, net, ("r", None), tables, pr)
+    assert "persist0" not in labels(model, state)
+
+
+def test_dst_priority_orders_forwarding():
+    model = TokenDstModel(coarse_sends=True, atomic_broadcasts=True)
+    caches, mem, net, wants, tables, pr = initial(model)
+    # Cache 1 holds tokens; both procs have active persistent requests.
+    caches = ((0, False, False, 0), (model.T, True, True, 0))
+    tables = tuple(((1, False, False), (1, False, False)) for _ in range(model.n + 1))
+    state = (caches, mem, net, wants, tables, ("req", "req"))
+    fwd = [l for l, _n in model.transitions(state) if l.startswith("fwd1->")]
+    assert fwd == ["fwd1->0"]  # proc 0 outranks proc 1 (fixed priority)
+
+
+# ---------------------------------------------------------------------------
+# Arbiter model.
+# ---------------------------------------------------------------------------
+def test_arb_requests_flow_through_fifo_channel():
+    model = TokenArbModel(coarse_sends=True, atomic_broadcasts=True)
+    caches, mem, net, wants, site_act, arb, chan, pr = initial(model)
+    state = (caches, mem, net, ("w", None), site_act, arb, chan, pr)
+    (after_persist,) = [n for l, n in model.transitions(state) if l == "persist0"]
+    assert after_persist[6][0] == (("req", False),)  # queued in the channel
+    (after_enqueue,) = [
+        n for l, n in model.transitions(after_persist) if l == "arb_enqueue0"
+    ]
+    assert after_enqueue[5] == (((0, False),), None)  # in the arbiter queue
+    (after_activate,) = [
+        n for l, n in model.transitions(after_enqueue) if l == "arb_activate"
+    ]
+    assert after_activate[5] == ((), (0, False))
+    assert all(s == (0, False) for s in after_activate[4])  # sites know
+
+
+def test_arb_channel_backpressure_blocks_new_persists():
+    model = TokenArbModel(coarse_sends=True, atomic_broadcasts=True)
+    caches, mem, net, wants, site_act, arb, chan, pr = initial(model)
+    chan = ((("req", False), ("deact",)),) + chan[1:]
+    state = (caches, mem, net, ("w", None), site_act, arb, chan, pr)
+    assert "persist0" not in labels(model, state)
+
+
+# ---------------------------------------------------------------------------
+# Flat directory model.
+# ---------------------------------------------------------------------------
+def test_dir_cold_getx_grants_with_memory_data():
+    model = DirFlatModel()
+    (state,) = model.initial_states()
+    caches, directory, mem, net, wants = state
+    state = (caches, directory, mem, net, ("w", None))
+    (after_issue,) = [n for l, n in model.transitions(state) if l == "getx0"]
+    (after_dir,) = [n for l, n in model.transitions(after_issue) if l == "dir_getx"]
+    _c, ndir, _m, nnet, _w = after_dir
+    assert ndir[3] is True  # busy
+    assert any(m[0] == "data" and m[3] == DIR_M for m in nnet)
+
+
+def test_dir_busy_defers_second_request():
+    model = DirFlatModel()
+    (state,) = model.initial_states()
+    caches, directory, mem, net, wants = state
+    state = (caches, directory, mem, net, ("w", "r"))
+    (s1,) = [n for l, n in model.transitions(state) if l == "getx0"]
+    (s2,) = [n for l, n in model.transitions(s1) if l == "gets1"]
+    (s3,) = [n for l, n in model.transitions(s2) if l == "dir_getx"]
+    # The directory is busy; the read request can only be deferred.
+    defers = [n for l, n in model.transitions(s3) if l == "defer_gets"]
+    assert defers
+    _c, ndir, _m, _n, _w = defers[0]
+    assert len(ndir[4]) == 1  # queued

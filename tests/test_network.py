@@ -1,0 +1,129 @@
+"""Unit tests for the interconnect model: latency, bandwidth, traffic."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import SystemParams
+from repro.common.types import NodeId, NodeKind, ns
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import Scope, TrafficClass, TrafficMeter
+from repro.sim.kernel import Simulator
+
+
+def build(params=None):
+    params = params or SystemParams()
+    sim = Simulator()
+    meter = TrafficMeter()
+    net = Network(sim, params, meter)
+    return sim, meter, net, params
+
+
+def deliver(sim, net, msg, sink):
+    net.register(msg.dst, sink) if msg.dst not in net._endpoints else None
+    net.send(msg)
+    sim.run()
+
+
+def test_intra_chip_latency():
+    sim, meter, net, p = build()
+    src, dst = p.l1d_of(0), p.l1d_of(1)
+    arrivals = []
+    net.register(dst, lambda m: arrivals.append(sim.now))
+    net.send(Message(MsgType.TOK_ACK, src, dst, 0))
+    sim.run()
+    # 8 bytes / 64 GB/s = 125 ps serialization + 2 ns link.
+    assert arrivals == [ns(2) + 125]
+
+
+def test_cross_chip_latency_includes_both_intra_hops():
+    sim, meter, net, p = build()
+    src, dst = p.l1d_of(0), p.l1d_of(4)  # chip 0 -> chip 1
+    arrivals = []
+    net.register(dst, lambda m: arrivals.append(sim.now))
+    net.send(Message(MsgType.TOK_ACK, src, dst, 0))
+    sim.run()
+    # intra 2ns + inter 20ns + intra 2ns plus serialization on each link.
+    assert arrivals[0] == ns(24) + 125 + 500 + 125
+
+
+def test_memory_link_latency():
+    sim, meter, net, p = build()
+    src = p.l1d_of(0)
+    dst = NodeId(NodeKind.MEM, 0)
+    arrivals = []
+    net.register(dst, lambda m: arrivals.append(sim.now))
+    net.send(Message(MsgType.TOK_ACK, src, dst, 0))
+    sim.run()
+    # intra 2ns + mem link 20ns + serialization on both.
+    assert arrivals[0] == ns(22) + 125 + 125
+
+
+def test_fifo_per_path():
+    sim, meter, net, p = build()
+    src, dst = p.l1d_of(0), p.l1d_of(4)
+    seen = []
+    net.register(dst, lambda m: seen.append(m.serial))
+    for i in range(10):
+        net.send(Message(MsgType.TOK_DATA, src, dst, 0, serial=i))
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_bandwidth_serialization_queues_messages():
+    sim, meter, net, p = build()
+    src, dst = p.l1d_of(0), p.l1d_of(1)
+    arrivals = []
+    net.register(dst, lambda m: arrivals.append(sim.now))
+    for _ in range(3):
+        net.send(Message(MsgType.TOK_DATA, src, dst, 0))  # 72B @ 64GB/s = 1125ps
+    sim.run()
+    assert arrivals[1] - arrivals[0] == 1125
+    assert arrivals[2] - arrivals[1] == 1125
+
+
+def test_traffic_accounting_by_scope_and_class():
+    sim, meter, net, p = build()
+    src, dst = p.l1d_of(0), p.l1d_of(4)
+    net.register(dst, lambda m: None)
+    net.send(Message(MsgType.TOK_DATA, src, dst, 0))
+    sim.run()
+    # One 72-byte message crossed two intra links and one inter link.
+    assert meter.scope_bytes(Scope.INTER) == 72
+    assert meter.scope_bytes(Scope.INTRA) == 144
+    assert meter.breakdown(Scope.INTER)[TrafficClass.RESPONSE_DATA] == 72
+    assert meter.breakdown(Scope.INTER)[TrafficClass.REQUEST] == 0
+
+
+def test_control_vs_data_message_sizes():
+    sim, meter, net, p = build()
+    src, dst = p.l1d_of(0), p.l1d_of(4)
+    net.register(dst, lambda m: None)
+    net.send(Message(MsgType.TOK_GETS, src, dst, 0))
+    sim.run()
+    assert meter.scope_bytes(Scope.INTER) == 8
+
+
+def test_unregistered_destination_rejected():
+    sim, meter, net, p = build()
+    with pytest.raises(ConfigError):
+        net.send(Message(MsgType.TOK_ACK, p.l1d_of(0), p.l1d_of(1), 0))
+
+
+def test_duplicate_registration_rejected():
+    sim, meter, net, p = build()
+    net.register(p.l1d_of(0), lambda m: None)
+    with pytest.raises(ConfigError):
+        net.register(p.l1d_of(0), lambda m: None)
+
+
+def test_mem_to_remote_chip_path():
+    sim, meter, net, p = build()
+    src = NodeId(NodeKind.MEM, 0)
+    dst = p.l1d_of(4)  # chip 1
+    arrivals = []
+    net.register(dst, lambda m: arrivals.append(sim.now))
+    net.send(Message(MsgType.TOK_ACK, src, dst, 0))
+    sim.run()
+    # mem link 20 + inter 20 + intra 2 (+ serialization x3).
+    assert arrivals[0] == ns(42) + 125 + 500 + 125

@@ -1,0 +1,136 @@
+"""Unit tests for SystemParams (Table 3) and address mapping."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import SystemParams
+from repro.common.types import NodeKind, ns, to_ns
+
+
+def test_table3_defaults():
+    p = SystemParams()
+    assert p.num_chips == 4
+    assert p.procs_per_chip == 4
+    assert p.num_procs == 16
+    assert p.block_size == 64
+    assert p.l1_size == 128 * 1024
+    assert p.l2_bank_size * p.l2_banks_per_chip == 8 * 1024 * 1024
+    assert p.l1_latency_ns == 2.0
+    assert p.l2_latency_ns == 7.0
+    assert p.dram_latency_ns == 80.0
+    assert p.intra_link_bw == 64.0
+    assert p.inter_link_bw == 16.0
+    assert p.data_msg_bytes == 72
+    assert p.control_msg_bytes == 8
+
+
+def test_time_conversion_roundtrip():
+    assert ns(2.0) == 2000
+    assert to_ns(ns(7.5)) == 7.5
+
+
+def test_block_alignment():
+    p = SystemParams()
+    assert p.block_of(0x1234) == 0x1200
+    assert p.block_of(0x1200) == 0x1200
+
+
+def test_home_interleaving_covers_all_chips():
+    p = SystemParams()
+    homes = {p.home_chip(i * p.block_size) for i in range(16)}
+    assert homes == {0, 1, 2, 3}
+
+
+def test_l2_bank_interleaving_within_chip():
+    p = SystemParams()
+    banks = {p.l2_bank(i * p.block_size, chip=0).index for i in range(64)}
+    assert banks == {0, 1, 2, 3}
+
+
+def test_l2_bank_is_consistent_per_block():
+    p = SystemParams()
+    addr = 0x4_0000
+    b0 = p.l2_bank(addr, 0)
+    assert b0 == p.l2_bank(addr + 4, 0)  # same block, same bank
+    assert p.l2_bank(addr, 1).chip == 1
+
+
+def test_token_holder_count():
+    p = SystemParams()
+    # 8 L1s per chip + 1 home L2 bank per chip.
+    assert p.num_caches == 4 * 9
+    assert len(p.token_holders(0)) == 36
+
+
+def test_persistent_priority_locality_layout():
+    p = SystemParams()
+    # Low bits vary within a CMP: processors on one chip are contiguous.
+    chip0 = [p.persistent_priority(i) for i in range(4)]
+    chip1 = [p.persistent_priority(i) for i in range(4, 8)]
+    assert chip0 == [0, 1, 2, 3]
+    assert chip1 == [4, 5, 6, 7]
+
+
+def test_tokens_must_exceed_cache_count():
+    with pytest.raises(ConfigError):
+        SystemParams(tokens_per_block=8)
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigError):
+        SystemParams(block_size=48)
+    with pytest.raises(ConfigError):
+        SystemParams(num_chips=0)
+
+
+def test_node_helpers():
+    p = SystemParams()
+    assert p.l1d_of(5).chip == 1 and p.l1d_of(5).index == 1
+    assert p.home_mem(0).kind is NodeKind.MEM
+    assert p.iface_of(2).chip == 2
+
+
+# ---------------------------------------------------------------------------
+# Stats summaries (co-located with other common-layer tests).
+# ---------------------------------------------------------------------------
+def test_summary_tracks_mean_min_max():
+    from repro.common.stats import Summary
+
+    s = Summary()
+    for v in (10.0, 20.0, 30.0):
+        s.add(v)
+    assert s.count == 3 and s.mean == 20.0
+    assert s.min == 10.0 and s.max == 30.0
+
+
+def test_summary_percentiles_exact_for_small_streams():
+    from repro.common.stats import Summary
+
+    s = Summary()
+    for v in range(101):
+        s.add(float(v))
+    assert s.percentile(0) == 0.0
+    assert s.percentile(50) == 50.0
+    assert s.percentile(100) == 100.0
+
+
+def test_summary_percentiles_approximate_for_large_streams():
+    from repro.common.stats import Summary
+
+    s = Summary(sample_limit=256)
+    for v in range(10_000):
+        s.add(float(v))
+    assert abs(s.percentile(50) - 5000) < 500
+    assert abs(s.percentile(95) - 9500) < 500
+    assert s.count == 10_000
+
+
+def test_stats_ratio_and_snapshot():
+    from repro.common.stats import Stats
+
+    st = Stats()
+    st.bump("hits", 3)
+    st.bump("misses")
+    assert st.ratio("hits", "misses") == 3.0
+    assert st.ratio("hits", "absent") == 0.0
+    assert st.snapshot() == {"hits": 3, "misses": 1}

@@ -1,0 +1,80 @@
+"""Unit tests for persistent-request machinery (tables, marking, arbiter)."""
+
+from repro.common.params import SystemParams
+from repro.common.stats import Stats
+from repro.common.types import NodeId, NodeKind
+from repro.core.persistent import PersistentEntry, PersistentTable
+
+
+def entry(proc, addr=0x100, read=False, prio=None):
+    return PersistentEntry(
+        proc=proc,
+        requestor=NodeId(NodeKind.L1D, proc // 4, proc % 4),
+        addr=addr,
+        read=read,
+        prio=prio if prio is not None else proc,
+    )
+
+
+def test_active_for_picks_highest_priority():
+    t = PersistentTable()
+    t.insert(entry(3))
+    t.insert(entry(1))
+    t.insert(entry(2))
+    assert t.active_for(0x100).proc == 1
+
+
+def test_active_for_ignores_other_blocks():
+    t = PersistentTable()
+    t.insert(entry(1, addr=0x200))
+    assert t.active_for(0x100) is None
+
+
+def test_remove_requires_matching_address():
+    t = PersistentTable()
+    t.insert(entry(1, addr=0x100))
+    # A stale deactivate for another block must not clobber the entry.
+    assert t.remove(1, addr=0x200) is None
+    assert t.active_for(0x100) is not None
+    assert t.remove(1, addr=0x100).proc == 1
+    assert t.active_for(0x100) is None
+
+
+def test_one_entry_per_processor():
+    t = PersistentTable()
+    t.insert(entry(1, addr=0x100))
+    t.insert(entry(1, addr=0x200))  # newer request replaces older
+    assert t.active_for(0x100) is None
+    assert t.active_for(0x200).proc == 1
+
+
+def test_marking_wave_rule():
+    t = PersistentTable()
+    t.insert(entry(1))
+    t.insert(entry(2))
+    assert not t.has_marked_for(0x100)
+    t.mark_all_for(0x100)
+    assert t.has_marked_for(0x100)
+    # Marked entries remain active (they are other processors' requests).
+    assert t.active_for(0x100) is not None
+    t.remove(1, 0x100)
+    assert t.has_marked_for(0x100)  # proc 2 still marked
+    t.remove(2, 0x100)
+    assert not t.has_marked_for(0x100)  # wave drained
+
+
+def test_marks_do_not_leak_across_blocks():
+    t = PersistentTable()
+    t.insert(entry(1, addr=0x100))
+    t.insert(entry(2, addr=0x200))
+    t.mark_all_for(0x100)
+    assert t.has_marked_for(0x100)
+    assert not t.has_marked_for(0x200)
+
+
+def test_entries_for_lists_block_requests():
+    t = PersistentTable()
+    t.insert(entry(1, addr=0x100))
+    t.insert(entry(2, addr=0x100))
+    t.insert(entry(3, addr=0x300))
+    assert {e.proc for e in t.entries_for(0x100)} == {1, 2}

@@ -1,0 +1,107 @@
+"""Unit tests for timeout estimator, contention predictor, sharer filter."""
+
+from repro.common.params import SystemParams
+from repro.common.types import NodeId, NodeKind, ns
+from repro.core.filter import SharerFilter
+from repro.core.predictor import ContentionPredictor
+from repro.core.timeout import TimeoutEstimator
+
+
+# ---------------------------------------------------------------------------
+# Timeout estimator.
+# ---------------------------------------------------------------------------
+def test_estimator_tracks_memory_latency():
+    est = TimeoutEstimator(initial_ns=300, multiplier=1.5, alpha=1.0)
+    est.observe_memory_response(ns(200))
+    assert est.threshold_ps() == ns(300)
+
+
+def test_estimator_threshold_has_floor():
+    est = TimeoutEstimator(multiplier=1.5, alpha=1.0, floor_ns=100)
+    est.observe_memory_response(ns(1))
+    assert est.threshold_ps() == ns(100)
+
+
+def test_estimator_ewma_converges():
+    est = TimeoutEstimator(initial_ns=300, multiplier=2.0, alpha=0.5)
+    for _ in range(20):
+        est.observe_memory_response(ns(100))
+    assert abs(est.threshold_ps() - ns(200)) < ns(5)
+
+
+# ---------------------------------------------------------------------------
+# Contention predictor.
+# ---------------------------------------------------------------------------
+def test_predictor_needs_two_timeouts():
+    p = ContentionPredictor(reset_probability=0.0)
+    assert not p.predict_contended(0x100)
+    p.train_timeout(0x100)
+    assert not p.predict_contended(0x100)  # counter == 1 < threshold
+    p.train_timeout(0x100)
+    assert p.predict_contended(0x100)
+
+
+def test_predictor_counter_saturates():
+    p = ContentionPredictor(reset_probability=0.0)
+    for _ in range(10):
+        p.train_timeout(0x100)
+    assert p.predict_contended(0x100)
+
+
+def test_predictor_is_set_associative_with_lru():
+    p = ContentionPredictor(entries=8, assoc=2, reset_probability=0.0)
+    set_stride = p.num_sets * 64
+    a, b, c = 0x0, set_stride, 2 * set_stride  # same set
+    for addr in (a, b):
+        p.train_timeout(addr)
+        p.train_timeout(addr)
+    p.train_timeout(c)  # evicts LRU (a)
+    assert not p.predict_contended(a)
+    assert p.predict_contended(b)
+
+
+def test_predictor_pseudo_random_reset():
+    p = ContentionPredictor(reset_probability=1.0)
+    p.train_timeout(0x100)
+    p.train_timeout(0x100)
+    # With reset probability 1, the first query clears the counter.
+    assert not p.predict_contended(0x100)
+    assert not p.predict_contended(0x100)
+
+
+# ---------------------------------------------------------------------------
+# Approximate sharer filter.
+# ---------------------------------------------------------------------------
+def l1(i):
+    return NodeId(NodeKind.L1D, 0, i)
+
+
+ALL_L1S = [l1(i) for i in range(4)]
+
+
+def test_filter_unknown_block_forwards_to_all():
+    f = SharerFilter()
+    assert f.destinations(0x100, ALL_L1S) == ALL_L1S
+
+
+def test_filter_tracks_holders():
+    f = SharerFilter()
+    f.note_holder(0x100, l1(2))
+    assert f.destinations(0x100, ALL_L1S) == [l1(2)]
+
+
+def test_filter_release_removes_holder():
+    f = SharerFilter()
+    f.note_holder(0x100, l1(2))
+    f.note_release(0x100, l1(2))
+    assert f.destinations(0x100, ALL_L1S) == []
+
+
+def test_filter_capacity_eviction_falls_back_to_broadcast():
+    f = SharerFilter(capacity=2)
+    f.note_holder(0x100, l1(0))
+    f.note_holder(0x200, l1(1))
+    f.note_holder(0x300, l1(2))  # evicts 0x100
+    assert f.evictions == 1
+    assert f.destinations(0x100, ALL_L1S) == ALL_L1S  # safe fallback
+    assert f.destinations(0x300, ALL_L1S) == [l1(2)]

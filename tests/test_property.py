@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core data structures and on
+whole-machine invariants under randomized workloads."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.common.params import SystemParams
+from repro.core.tokens import TokenEntry
+from repro.cpu.ops import Load, Rmw, Store, Think
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import TrafficMeter
+from repro.memory.cache import CacheArray
+from repro.sim.kernel import Simulator
+from repro.system.machine import Machine
+from repro.workloads.base import Workload
+
+
+# ---------------------------------------------------------------------------
+# CacheArray properties.
+# ---------------------------------------------------------------------------
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "dealloc", "lookup"]),
+                  st.integers(min_value=0, max_value=40)),
+        max_size=200,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_array_never_overflows_and_tracks_contents(ops):
+    array = CacheArray(4 * 2 * 64, assoc=4, block_size=64, name="prop")
+    shadow = {}
+    for op, idx in ops:
+        addr = idx * 64
+        if op == "alloc":
+            victim = array.allocate(addr, f"e{idx}")
+            shadow[addr] = f"e{idx}"
+            if victim is not None:
+                assert shadow.pop(victim[0]) == victim[1]
+        elif op == "dealloc":
+            got = array.deallocate(addr)
+            assert got == shadow.pop(addr, None)
+        else:
+            assert array.lookup(addr) == shadow.get(addr)
+        assert len(array) == len(shadow) <= 8
+
+
+# ---------------------------------------------------------------------------
+# TokenEntry conservation under random absorb/take sequences.
+# ---------------------------------------------------------------------------
+@given(moves=st.lists(st.integers(min_value=1, max_value=8), max_size=30),
+       data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_token_entry_conserves_tokens(moves, data):
+    total = 16
+    a, b = TokenEntry(), TokenEntry()
+    a.absorb(total, owner=True, data=0, dirty=False)
+    for want in moves:
+        src, dst = (a, b) if data.draw(st.booleans()) else (b, a)
+        give = min(want, src.tokens)
+        if give == 0:
+            continue
+        take_owner = src.owner and data.draw(st.booleans())
+        tokens, owner, value, dirty = src.take(give, take_owner)
+        dst.absorb(tokens, owner, value, dirty)
+        assert a.tokens + b.tokens == total
+        assert [a.owner, b.owner].count(True) == 1
+
+
+# ---------------------------------------------------------------------------
+# Network properties: per-path FIFO and minimum latency.
+# ---------------------------------------------------------------------------
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda t: t[0] != t[1]),
+        min_size=1, max_size=40,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_network_fifo_per_path_and_min_latency(pairs):
+    params = SystemParams()
+    sim = Simulator()
+    net = Network(sim, params, TrafficMeter())
+    deliveries = []
+    for proc in range(16):
+        node = params.l1d_of(proc)
+        net.register(node, lambda m, n=node: deliveries.append((m.src, n, m.serial, sim.now)))
+    for serial, (a, b) in enumerate(pairs):
+        net.send(Message(MsgType.TOK_DATA, params.l1d_of(a), params.l1d_of(b),
+                         0, serial=serial))
+    sim.run()
+    assert len(deliveries) == len(pairs)
+    per_path = {}
+    for src, dst, serial, t in deliveries:
+        per_path.setdefault((src, dst), []).append(serial)
+        min_lat = params.intra_link_latency_ps if src.chip == dst.chip else (
+            2 * params.intra_link_latency_ps + params.inter_link_latency_ps
+        )
+        assert t >= min_lat
+    for serials in per_path.values():
+        assert serials == sorted(serials)  # FIFO per (src, dst)
+
+
+# ---------------------------------------------------------------------------
+# Whole-machine properties under randomized workloads.
+# ---------------------------------------------------------------------------
+class RandomWorkload(Workload):
+    """Random loads/stores/atomics over a small set of shared blocks."""
+
+    name = "random"
+
+    def __init__(self, params, script):
+        super().__init__(params, 0)
+        self.blocks = self.alloc.blocks(4)
+        self.script = script  # per proc: list of (kind, block_idx, value)
+
+    def generators(self):
+        return [self._thread(p) for p in range(self.params.num_procs)]
+
+    def _thread(self, proc):
+        for kind, b, value in self.script[proc % len(self.script)]:
+            if kind == "l":
+                yield Load(self.blocks[b])
+            elif kind == "s":
+                yield Store(self.blocks[b], value)
+            elif kind == "t":
+                yield Think(float(value % 19) + 1)
+            else:
+                yield Rmw(self.blocks[b], lambda v: v + 1)
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["l", "s", "r", "t"]),
+    st.integers(0, 3),
+    st.integers(0, 1000),
+)
+script_strategy = st.lists(
+    st.lists(op_strategy, min_size=1, max_size=12), min_size=1, max_size=4
+)
+
+
+@given(script=script_strategy, proto=st.sampled_from(
+    ["TokenCMP-dst1", "TokenCMP-dst4", "TokenCMP-arb0", "TokenCMP-dst0"]))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_workloads_preserve_token_invariants(script, proto):
+    from repro.analysis.consistency import attach_audit, check_per_location_serializability
+
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    machine = Machine(params, proto, seed=1)
+    log = attach_audit(machine)
+    wl = RandomWorkload(params, script)
+    machine.run(wl, max_events=3_000_000)
+    machine.check_token_invariants()
+    # Every load must have observed the latest earlier write to its block.
+    check_per_location_serializability(log)
+
+
+@given(script=script_strategy)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_workloads_complete_on_directory(script):
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    machine = Machine(params, "DirectoryCMP", seed=1)
+    wl = RandomWorkload(params, script)
+    machine.run(wl, max_events=3_000_000)  # raises on deadlock
+    # The final value of each block is one that was actually written.
+    for b, addr in enumerate(wl.blocks):
+        written = {v for procs in script for (k, bi, v) in procs
+                   if k == "s" and bi == b}
+        value = machine.coherent_value(addr)
+        if value != 0:
+            # could also be an increment chain from atomics
+            rmws = sum(1 for procs in script for (k, bi, _v) in procs
+                       if k == "r" and bi == b)
+            assert value in written or rmws > 0 or any(
+                value == w + n for w in written | {0} for n in range(rmws + 1)
+            )
+
+
+@given(script=script_strategy)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_token_and_directory_agree_when_racefree(script):
+    """With one active processor the final memory state is deterministic
+    and must agree across protocol families."""
+    single = [script[0]]
+    finals = {}
+    for proto in ("TokenCMP-dst1", "DirectoryCMP", "PerfectL2"):
+        params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+        # Single-thread script: every other processor runs an empty list.
+        class OneProc(RandomWorkload):
+            def _thread(self, proc):
+                if proc == 0:
+                    yield from super()._thread(0)
+                else:
+                    yield Think(1.0)
+
+        machine = Machine(params, proto, seed=1)
+        wl = OneProc(params, single)
+        machine.run(wl, max_events=3_000_000)
+        finals[proto] = [machine.coherent_value(a) for a in wl.blocks]
+    assert finals["TokenCMP-dst1"] == finals["DirectoryCMP"] == finals["PerfectL2"]

@@ -1,0 +1,147 @@
+"""Focused unit tests for the token L2 bank's gateway and ingress roles."""
+
+import pytest
+
+from repro.common.params import SystemParams
+from repro.common.types import NodeId, NodeKind
+from repro.core.l2 import TokenL2Controller
+from repro.core.ledger import ChipTokenLedger
+from repro.common.stats import Stats
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import TrafficMeter
+from repro.memory.cache import CacheArray
+from repro.sim.kernel import Simulator
+from repro.system.config import protocol
+
+
+BLOCK = 0
+
+
+def build(proto="TokenCMP-dst1"):
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    sim = Simulator()
+    net = Network(sim, params, TrafficMeter())
+    stats = Stats()
+    bank = TokenL2Controller(
+        NodeId(NodeKind.L2, 0, 0), sim, net, params, stats, protocol(proto),
+        CacheArray(params.l2_bank_size, params.l2_assoc, params.block_size),
+        params.l2_latency_ps,
+    )
+    bank.ledger = ChipTokenLedger([bank])  # only the bank holds tokens here
+    inboxes = {}
+    for l1 in params.chip_l1s(0):
+        inboxes[l1] = []
+        net.register(l1, inboxes[l1].append)
+    inboxes["mem"] = []
+    net.register(NodeId(NodeKind.MEM, 0), inboxes["mem"].append)
+    inboxes["remote-l2"] = []
+    net.register(params.l2_bank(BLOCK, 1), inboxes["remote-l2"].append)
+    inboxes["remote-l1"] = []
+    net.register(params.l1d_of(2), inboxes["remote-l1"].append)
+    return params, sim, net, stats, bank, inboxes
+
+
+def give_bank_tokens(bank, tokens, owner=True, value=7, dirty=False):
+    from repro.core.tokens import TokenEntry
+
+    entry = TokenEntry()
+    entry.absorb(tokens, owner, value if owner else (value if tokens else None), False)
+    entry.dirty = dirty
+    bank.array.allocate(BLOCK, entry)
+    return entry
+
+
+def test_local_miss_escalates_to_remote_chips_and_memory():
+    params, sim, net, stats, bank, inboxes = build()
+    l1 = params.l1d_of(0)
+    net.send(Message(MsgType.TOK_GETS, l1, bank.node, BLOCK, requestor=l1))
+    sim.run()
+    assert stats.get("l2.escalations") == 1
+    assert [m.mtype for m in inboxes["remote-l2"]] == [MsgType.TOK_GETS]
+    assert [m.mtype for m in inboxes["mem"]] == [MsgType.TOK_GETS]
+    # The forwarded request preserves the original requestor.
+    assert inboxes["remote-l2"][0].requestor == l1
+
+
+def test_no_escalation_when_bank_can_satisfy_read():
+    params, sim, net, stats, bank, inboxes = build()
+    give_bank_tokens(bank, tokens=8, owner=True)
+    l1 = params.l1d_of(0)
+    net.send(Message(MsgType.TOK_GETS, l1, bank.node, BLOCK, requestor=l1))
+    sim.run()
+    assert stats.get("l2.escalations") == 0
+    (resp,) = inboxes[l1]
+    assert resp.mtype is MsgType.TOK_DATA and resp.tokens == 1
+
+
+def test_write_escalates_unless_chip_holds_all_tokens():
+    params, sim, net, stats, bank, inboxes = build()
+    give_bank_tokens(bank, tokens=8, owner=True)  # half the tokens
+    l1 = params.l1d_of(0)
+    net.send(Message(MsgType.TOK_GETX, l1, bank.node, BLOCK, requestor=l1))
+    sim.run()
+    assert stats.get("l2.escalations") == 1  # rest of the tokens are away
+    (resp,) = [m for m in inboxes[l1] if m.mtype is MsgType.TOK_DATA]
+    assert resp.tokens == 8 and resp.owner  # bank still gave what it had
+
+
+def test_external_request_rebroadcasts_to_local_l1s():
+    params, sim, net, stats, bank, inboxes = build()
+    remote = params.l1d_of(2)
+    net.send(Message(MsgType.TOK_GETX, params.l2_bank(BLOCK, 1), bank.node,
+                     BLOCK, requestor=remote))
+    sim.run()
+    for l1 in params.chip_l1s(0):
+        assert [m.mtype for m in inboxes[l1]] == [MsgType.TOK_GETX]
+        assert inboxes[l1][0].requestor == remote
+
+
+def test_external_read_gets_c_tokens_from_owner_bank():
+    params, sim, net, stats, bank, inboxes = build()
+    give_bank_tokens(bank, tokens=16, owner=True)
+    remote = params.l1d_of(2)
+    net.send(Message(MsgType.TOK_GETS, params.l2_bank(BLOCK, 1), bank.node,
+                     BLOCK, requestor=remote))
+    sim.run()
+    (resp,) = [m for m in inboxes["remote-l1"] if m.mtype is MsgType.TOK_DATA]
+    assert resp.tokens == params.caches_per_chip  # C tokens seed the chip
+    assert not resp.owner
+
+
+def test_external_read_of_modified_block_is_migratory():
+    params, sim, net, stats, bank, inboxes = build()
+    give_bank_tokens(bank, tokens=16, owner=True, dirty=True)
+    remote = params.l1d_of(2)
+    net.send(Message(MsgType.TOK_GETS, params.l2_bank(BLOCK, 1), bank.node,
+                     BLOCK, requestor=remote))
+    sim.run()
+    (resp,) = [m for m in inboxes["remote-l1"] if m.mtype is MsgType.TOK_DATA]
+    assert resp.tokens == 16 and resp.owner  # whole block moves
+
+
+def test_filter_narrows_rebroadcast():
+    params, sim, net, stats, bank, inboxes = build("TokenCMP-dst1-filt")
+    holder = params.l1d_of(0)
+    bank.filter.note_holder(BLOCK, holder)
+    net.send(Message(MsgType.TOK_GETX, params.l2_bank(BLOCK, 1), bank.node,
+                     BLOCK, requestor=params.l1d_of(2)))
+    sim.run()
+    assert [m.mtype for m in inboxes[holder]] == [MsgType.TOK_GETX]
+    others = [l1 for l1 in params.chip_l1s(0) if l1 != holder]
+    for l1 in others:
+        assert inboxes[l1] == []
+    assert stats.get("l2.filter_suppressed") == len(others)
+
+
+def test_persistent_requests_are_never_filtered():
+    params, sim, net, stats, bank, inboxes = build("TokenCMP-dst1-filt")
+    bank.filter.note_holder(BLOCK, params.l1d_of(0))  # filter says only proc 0
+    give_bank_tokens(bank, tokens=4, owner=False, value=None)
+    requestor = params.l1d_of(2)
+    net.send(Message(MsgType.PERSIST_ACTIVATE, requestor, bank.node, BLOCK,
+                     requestor=requestor, prio=2, read=False, extra=2))
+    sim.run()
+    # The bank itself forwarded its tokens regardless of the filter.
+    sent = [m for m in inboxes["remote-l1"]]
+    assert sent and sent[0].tokens == 4

@@ -1,0 +1,122 @@
+"""Unit tests for the token-counting substrate (TokenEntry + invariants)."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.persistent import persistent_read_share
+from repro.core.tokens import TokenEntry, check_conservation
+
+
+def test_absorb_plain_tokens():
+    e = TokenEntry()
+    e.absorb(3, owner=False, data=None, dirty=False)
+    assert e.tokens == 3 and not e.owner and not e.valid_data
+    assert not e.can_read()  # tokens without data cannot satisfy a load
+
+
+def test_absorb_data_enables_read():
+    e = TokenEntry()
+    e.absorb(1, owner=False, data=42, dirty=False)
+    assert e.can_read() and e.value == 42
+
+
+def test_owner_requires_data():
+    e = TokenEntry()
+    with pytest.raises(ProtocolError):
+        e.absorb(1, owner=True, data=None, dirty=False)
+
+
+def test_duplicate_owner_rejected():
+    e = TokenEntry()
+    e.absorb(1, owner=True, data=1, dirty=False)
+    with pytest.raises(ProtocolError):
+        e.absorb(1, owner=True, data=1, dirty=False)
+
+
+def test_can_write_requires_all_tokens():
+    e = TokenEntry()
+    e.absorb(63, owner=True, data=0, dirty=False)
+    assert not e.can_write(64)
+    e.absorb(1, owner=False, data=None, dirty=False)
+    assert e.can_write(64)
+
+
+def test_take_moves_owner_with_data():
+    e = TokenEntry()
+    e.absorb(4, owner=True, data=7, dirty=True)
+    tokens, owner, data, dirty = e.take(4, take_owner=True)
+    assert (tokens, owner, data, dirty) == (4, True, 7, True)
+    assert e.empty and not e.valid_data and not e.dirty
+
+
+def test_take_partial_keeps_validity():
+    e = TokenEntry()
+    e.absorb(4, owner=True, data=7, dirty=False)
+    e.take(1, take_owner=False)
+    assert e.tokens == 3 and e.owner and e.valid_data
+
+
+def test_take_more_than_held_rejected():
+    e = TokenEntry()
+    e.absorb(2, owner=False, data=None, dirty=False)
+    with pytest.raises(ProtocolError):
+        e.take(3, take_owner=False)
+    with pytest.raises(ProtocolError):
+        e.take(1, take_owner=True)  # no owner held
+
+
+def test_persistent_read_share_rules():
+    assert persistent_read_share(0, owner=False) == 0
+    assert persistent_read_share(1, owner=False) == 0  # keep the last token
+    assert persistent_read_share(1, owner=True) == 1  # owner hands off data
+    assert persistent_read_share(5, owner=False) == 4
+    assert persistent_read_share(5, owner=True) == 4
+
+
+def _holders(*specs):
+    out = []
+    for i, (tokens, owner, data) in enumerate(specs):
+        e = TokenEntry()
+        if tokens:
+            e.absorb(tokens, owner, data, dirty=False)
+        out.append((f"c{i}", e))
+    return out
+
+
+def test_conservation_accepts_legal_state():
+    check_conservation(
+        _holders((3, False, 5), (1, True, 5)),
+        mem_tokens=60, mem_owner=False, mem_value=0, total_tokens=64,
+    )
+
+
+def test_conservation_detects_lost_tokens():
+    with pytest.raises(ProtocolError, match="token count"):
+        check_conservation(
+            _holders((3, False, 5)),
+            mem_tokens=60, mem_owner=False, mem_value=0, total_tokens=64,
+        )
+
+
+def test_conservation_detects_double_owner():
+    with pytest.raises(ProtocolError, match="owner tokens"):
+        check_conservation(
+            _holders((3, True, 5), (1, True, 5)),
+            mem_tokens=60, mem_owner=False, mem_value=0, total_tokens=64,
+        )
+
+
+def test_conservation_detects_stale_reader():
+    with pytest.raises(ProtocolError, match="stale data"):
+        check_conservation(
+            _holders((3, False, 99), (1, True, 5)),
+            mem_tokens=60, mem_owner=False, mem_value=0, total_tokens=64,
+        )
+
+
+def test_conservation_counts_in_flight_messages():
+    check_conservation(
+        _holders((3, False, 5)),
+        mem_tokens=60, mem_owner=False, mem_value=0, total_tokens=64,
+        in_flight=[(1, True, 5)],
+    )

@@ -1,0 +1,74 @@
+"""Tests for the trace-driven workload support."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import SystemParams
+from repro.cpu.ops import Load, Rmw, Store, Think
+from repro.system.machine import Machine
+from repro.workloads.trace import TraceWorkload, parse_trace, write_trace
+
+
+@pytest.fixture
+def params():
+    return SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+
+
+TRACE = """
+# comment line
+0 S 0x1000 7
+0 T 5
+1 L 0x1000
+2 A 0x2000
+3 L 4096        # decimal address
+"""
+
+
+def test_parse_trace_records():
+    records = parse_trace(TRACE.splitlines())
+    assert len(records) == 5
+    assert records[0] == (0, Store(0x1000, 7))
+    assert records[1] == (0, Think(5.0))
+    assert records[2] == (1, Load(0x1000))
+    assert records[3][1].addr == 0x2000  # Rmw compares by fn identity
+    assert records[4] == (3, Load(4096))
+
+
+def test_parse_trace_rejects_garbage():
+    with pytest.raises(ConfigError, match="line 1"):
+        parse_trace(["0 X 0x10"])
+    with pytest.raises(ConfigError, match="line 1"):
+        parse_trace(["0 S 0x10"])  # missing value
+
+
+def test_trace_workload_runs_on_every_family(params):
+    for proto in ("TokenCMP-dst1", "DirectoryCMP", "PerfectL2"):
+        machine = Machine(params, proto, seed=1)
+        wl = TraceWorkload.from_text(params, TRACE)
+        machine.run(wl, max_events=1_000_000)
+        assert wl.executed == [2, 1, 1, 1]
+        assert machine.coherent_value(0x2000) == 1  # the atomic increment
+
+
+def test_trace_rejects_out_of_range_processor(params):
+    with pytest.raises(ConfigError, match="processor 9"):
+        TraceWorkload.from_text(params, "9 L 0x0")
+
+
+def test_trace_roundtrip(tmp_path, params):
+    records = parse_trace(TRACE.splitlines())
+    path = tmp_path / "t.trace"
+    write_trace(records, str(path))
+    again = parse_trace(str(path))
+    assert len(again) == len(records)
+    assert again[0] == records[0]
+    machine = Machine(params, "TokenCMP-dst1", seed=1)
+    machine.run(TraceWorkload(params, again), max_events=1_000_000)
+    machine.check_token_invariants()
+
+
+def test_trace_preserves_per_processor_order(params):
+    text = "\n".join(f"0 S 0x1000 {i}" for i in range(10))
+    machine = Machine(params, "DirectoryCMP", seed=1)
+    machine.run(TraceWorkload.from_text(params, text), max_events=1_000_000)
+    assert machine.coherent_value(0x1000) == 9  # last store wins
