@@ -6,6 +6,7 @@ Commands:
 * ``run``     — run one workload on one protocol, print stats
 * ``sweep``   — run a workload across all protocols, print normalized runtimes
 * ``verify``  — model-check the protocol models (Section 5)
+* ``faults``  — run the robustness battery under an adversarial network
 """
 
 from __future__ import annotations
@@ -112,6 +113,20 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.faults.battery import write_battery
+
+    rates = tuple(float(r) for r in args.rates.split(","))
+    write_battery(
+        args.out, rates=rates, scale=args.scale, seed=args.seed,
+        progress=lambda msg: print(f"... {msg}"),
+    )
+    with open(args.out) as fh:
+        print(fh.read(), end="")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.analysis.battery import write_report
 
@@ -144,6 +159,16 @@ def main(argv=None) -> int:
     v.add_argument("--fast", action="store_true")
     v.add_argument("--max-states", type=int, default=6_000_000)
 
+    f = sub.add_parser(
+        "faults", help="run the robustness battery under fault injection"
+    )
+    f.add_argument("--out", default="benchmarks/results/robustness_battery.txt")
+    f.add_argument("--rates", default="0,0.05,0.1,0.2",
+                   help="comma-separated fault rates to sweep")
+    f.add_argument("--scale", type=float, default=1.0,
+                   help="workload size multiplier (0.5 = quick look)")
+    f.add_argument("--seed", type=int, default=1)
+
     r = sub.add_parser("report", help="run the experiment battery, write markdown")
     r.add_argument("--out", default="REPORT.md")
     r.add_argument("--scale", type=float, default=1.0,
@@ -156,6 +181,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "sweep": cmd_sweep,
         "verify": cmd_verify,
+        "faults": cmd_faults,
         "report": cmd_report,
     }[args.command](args)
 

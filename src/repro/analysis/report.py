@@ -22,9 +22,26 @@ def run_one(
     workload_factory: Callable[[SystemParams, int], object],
     seed: int = 0,
     max_events: Optional[int] = 80_000_000,
+    faults=None,
+    watchdog_budget_ns: Optional[float] = None,
+    invariant_check_every: Optional[int] = None,
 ) -> RunResult:
-    """Build a fresh machine + workload and run to completion."""
-    machine = Machine(params, protocol, seed=seed)
+    """Build a fresh machine + workload and run to completion.
+
+    ``faults`` (a :class:`repro.faults.injector.FaultConfig`) wraps the
+    interconnect in the adversarial decorator; ``watchdog_budget_ns`` arms
+    the liveness watchdog; ``invariant_check_every`` turns on continuous
+    token-conservation checking (token protocols only).
+    """
+    machine = Machine(params, protocol, seed=seed, faults=faults)
+    if watchdog_budget_ns is not None:
+        from repro.faults.watchdog import LivenessWatchdog
+
+        LivenessWatchdog(machine, budget_ns=watchdog_budget_ns)
+    if invariant_check_every is not None:
+        from repro.faults.watchdog import InvariantMonitor
+
+        InvariantMonitor(machine, invariant_check_every)
     workload = workload_factory(params, seed)
     return machine.run(workload, max_events=max_events)
 

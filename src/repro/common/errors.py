@@ -19,7 +19,24 @@ class ProtocolError(ReproError):
 
 
 class DeadlockError(ReproError):
-    """Raised when the simulator runs out of events before workloads finish."""
+    """Raised when the simulator runs out of events before workloads finish.
+
+    ``diagnostics`` holds a :class:`repro.faults.watchdog.LivenessDiagnostics`
+    snapshot (token census, persistent tables, arbiter queues, in-flight
+    messages) when a liveness watchdog was attached to the machine.
+    """
+
+    diagnostics = None
+
+
+class StarvationError(DeadlockError):
+    """Raised by the liveness watchdog when a processor stops retiring.
+
+    Distinct from :class:`DeadlockError` proper: the simulation is still
+    firing events (tokens may even be moving), but some processor has not
+    completed an instruction within its simulated-time budget — the
+    forward-progress guarantee of the correctness substrate is violated.
+    """
 
 
 class VerificationError(ReproError):

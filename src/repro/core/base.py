@@ -86,6 +86,7 @@ class TokenCacheController:
     # Token arrival (responses, writebacks — all the same to the substrate).
     # ------------------------------------------------------------------
     def _on_tokens(self, msg: Message) -> None:
+        self.net.token_absorbed(msg)  # retire in-flight conservation tracking
         if msg.tokens == 0 and not msg.owner:
             return
         entry = self._ensure_entry(msg.addr)

@@ -154,8 +154,11 @@ class TokenL1Controller(TokenCacheController):
         if tx.retries + 1 < self.cfg.max_transient:
             tx.retries += 1
             self.stats.bump("policy.retries")
-            # Pseudo-random backoff avoids lock-step retries (Section 4).
-            backoff = int(self.rng.random() * self.estimator.threshold_ps() / 2)
+            # Bounded exponential backoff with pseudo-random jitter avoids
+            # lock-step retry storms (Section 4): the wait before the next
+            # broadcast grows with the retry count, and the jitter spreads
+            # colliding requestors apart.
+            backoff = int(self.rng.random() * self.estimator.threshold_ps(tx.retries) / 2)
             tx.timer = self.sim.schedule(backoff, self._retry, tx)
         else:
             self._go_persistent(tx)
@@ -164,7 +167,9 @@ class TokenL1Controller(TokenCacheController):
         if self._tx.get(tx.addr) is not tx:
             return
         self._send_transient(tx, global_=True)
-        tx.timer = self.sim.schedule(self.estimator.threshold_ps(), self._on_timeout, tx)
+        tx.timer = self.sim.schedule(
+            self.estimator.threshold_ps(tx.retries), self._on_timeout, tx
+        )
 
     # ------------------------------------------------------------------
     # Persistent requests (the correctness substrate takes over).

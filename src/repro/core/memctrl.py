@@ -83,6 +83,7 @@ class TokenMemController:
 
     # ------------------------------------------------------------------
     def _on_tokens(self, msg: Message) -> None:
+        self.net.token_absorbed(msg)  # retire in-flight conservation tracking
         addr = msg.addr
         tokens = self.tokens_of(addr) + msg.tokens
         owner = self.is_owner(addr)
@@ -178,4 +179,6 @@ class TokenMemController:
             owner=give_owner,
             data=data,
         )
-        self.sim.schedule(delay, self.net.send, msg)
+        # send_later (not a bare schedule of send) so fault-injection
+        # wrappers count the tokens as in flight during the DRAM access.
+        self.net.send_later(delay, msg)

@@ -61,6 +61,17 @@ class PersistentTable:
         self._entries: Dict[int, PersistentEntry] = {}
 
     def insert(self, entry: PersistentEntry) -> None:
+        """Remember ``entry`` (at most one per processor).
+
+        Re-inserting an entry for the same (processor, block) — a
+        duplicated or re-broadcast activate — must not lose the ``marked``
+        bit: the FutureBus marking rule's bookkeeping survives redundant
+        delivery, otherwise a duplicate could let a deactivating processor
+        re-issue early and starve lower-priority waiters.
+        """
+        prev = self._entries.get(entry.proc)
+        if prev is not None and prev.addr == entry.addr:
+            entry.marked = entry.marked or prev.marked
         self._entries[entry.proc] = entry
 
     def remove(self, proc: int, addr: int) -> Optional[PersistentEntry]:
@@ -160,7 +171,11 @@ class Arbiter:
                 self._queue.remove(queued)
                 self.stats.bump("arb.cancelled_in_queue")
                 return
-        raise ValueError(f"spurious deactivate {msg}")
+        # A deactivate for a request that is neither active nor queued is a
+        # legal race (Section 3.2), not a protocol bug: the request already
+        # retired and this copy was duplicated or delayed in the network.
+        # Count it and drop it.
+        self.stats.bump("arb.spurious_deactivates")
 
     def _broadcast(self, mtype: MsgType, req: Message) -> None:
         addr = req.addr

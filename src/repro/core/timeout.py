@@ -13,7 +13,15 @@ from repro.common.types import ns
 
 
 class TimeoutEstimator:
-    """EWMA of memory-response latency; threshold = multiplier * average."""
+    """EWMA of memory-response latency; threshold = multiplier * average.
+
+    The threshold escalates with the retry count of the transaction asking
+    for it: each transient retry multiplies the timeout by ``backoff_base``
+    (bounded by ``backoff_cap``) before the persistent-request fallback,
+    so colliding requestors back off instead of re-broadcasting in lock
+    step (Section 4's retry-storm avoidance).  The escalation is stateless
+    per transaction — a fresh miss starts again at the base multiplier.
+    """
 
     def __init__(
         self,
@@ -21,11 +29,15 @@ class TimeoutEstimator:
         multiplier: float = 1.5,
         alpha: float = 0.25,
         floor_ns: float = 100.0,
+        backoff_base: float = 2.0,
+        backoff_cap: float = 8.0,
     ):
         self._avg_ps = float(ns(initial_ns / multiplier))
         self.multiplier = multiplier
         self.alpha = alpha
         self.floor_ps = ns(floor_ns)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self.samples = 0
 
     def observe_memory_response(self, latency_ps: int) -> None:
@@ -33,6 +45,7 @@ class TimeoutEstimator:
         self._avg_ps += self.alpha * (latency_ps - self._avg_ps)
         self.samples += 1
 
-    def threshold_ps(self) -> int:
-        """Current timeout threshold in picoseconds."""
-        return max(self.floor_ps, round(self._avg_ps * self.multiplier))
+    def threshold_ps(self, retries: int = 0) -> int:
+        """Timeout threshold in picoseconds after ``retries`` retries."""
+        escalation = min(self.backoff_cap, self.backoff_base ** retries)
+        return max(self.floor_ps, round(self._avg_ps * self.multiplier * escalation))

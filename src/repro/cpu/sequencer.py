@@ -29,6 +29,10 @@ class Sequencer:
         self.l1i = l1i if l1i is not None else l1d
         self.stats = stats
         self._busy = False
+        # Per-processor progress, read by the liveness watchdog: a starved
+        # processor is one whose ``last_complete_ps`` stops advancing.
+        self.ops_completed = 0
+        self.last_complete_ps = 0
 
     def issue(self, op, done: Callable[[int], None]) -> None:
         """Start ``op``; ``done(result)`` fires at completion time."""
@@ -41,6 +45,8 @@ class Sequencer:
 
         def _complete(value: int) -> None:
             self._busy = False
+            self.ops_completed += 1
+            self.last_complete_ps = self.sim.now
             self.stats.sample("seq.latency_ps", self.sim.now - start)
             done(value)
 
@@ -69,6 +75,8 @@ class Sequencer:
                 remaining["n"] -= 1
                 if remaining["n"] == 0:
                     self._busy = False
+                    self.ops_completed += 1
+                    self.last_complete_ps = self.sim.now
                     self.stats.sample("seq.latency_ps", self.sim.now - start)
                     done(results)
             return _complete

@@ -1,0 +1,34 @@
+"""Fault injection and liveness checking for the correctness substrate.
+
+The paper argues (Sections 3 & 7) that token counting plus persistent
+requests keep TokenCMP safe and live no matter how the interconnect
+delays, reorders, or drops transient traffic.  This package makes that
+claim testable:
+
+* :mod:`repro.faults.injector` — :class:`FaultyNetwork`, an adversarial
+  decorator over the interconnect with seeded, per-message-class fault
+  policies;
+* :mod:`repro.faults.watchdog` — :class:`LivenessWatchdog` (starvation /
+  quiescence detection with structured diagnostics) and
+  :class:`InvariantMonitor` (continuous token-conservation checking);
+* :mod:`repro.faults.battery` — the fault-rate sweep behind
+  ``python -m repro faults`` and ``benchmarks/bench_robustness.py``.
+"""
+
+from repro.faults.injector import ClassPolicy, FaultConfig, FaultyNetwork
+from repro.faults.watchdog import (
+    InvariantMonitor,
+    LivenessDiagnostics,
+    LivenessWatchdog,
+    collect_diagnostics,
+)
+
+__all__ = [
+    "ClassPolicy",
+    "FaultConfig",
+    "FaultyNetwork",
+    "InvariantMonitor",
+    "LivenessDiagnostics",
+    "LivenessWatchdog",
+    "collect_diagnostics",
+]

@@ -1,0 +1,174 @@
+"""Robustness battery: sweep fault rates over the contention benchmarks.
+
+For every (workload, protocol, fault-rate) cell the battery builds a
+fresh machine wrapped in the adversarial network, arms the liveness
+watchdog and the continuous invariant monitor, runs the workload to
+completion, and then re-checks token conservation at quiescence.  It
+asserts three things the paper claims fault tolerance buys for free:
+
+* **completion** — every thread finishes (no starvation, no deadlock);
+* **token conservation** — zero violations, continuously and at the end;
+* **bounded slowdown** — runtime under faults stays within a constant
+  factor of the fault-free run (dropped transients cost retries and
+  persistent escalations, not correctness).
+
+Run it as ``python -m repro faults`` (writes
+``benchmarks/results/robustness_battery.txt``) or through
+``benchmarks/bench_robustness.py``.  Output contains no timestamps, so a
+fixed seed reproduces byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import ResultTable
+from repro.common.errors import ReproError
+from repro.common.params import SystemParams
+from repro.faults.injector import FaultConfig
+from repro.faults.watchdog import InvariantMonitor, LivenessWatchdog
+from repro.system.machine import Machine
+from repro.workloads.barrier import BarrierWorkload
+from repro.workloads.locking import LockingWorkload
+
+DEFAULT_RATES = (0.0, 0.05, 0.10, 0.20)
+DEFAULT_PROTOCOLS = ("TokenCMP-arb0", "TokenCMP-dst0", "TokenCMP-dst1")
+MAX_SLOWDOWN = 50.0  # bounded-slowdown assertion, vs the fault-free run
+
+FAULT_COUNTERS = (
+    "faults.dropped", "faults.duplicated", "faults.reordered",
+    "faults.delayed", "faults.suppressed",
+)
+
+
+class RobustnessFailure(ReproError):
+    """The battery's bounded-slowdown (or completion) assertion failed."""
+
+
+def _workloads(scale: float) -> Dict[str, Callable]:
+    def n(base: int) -> int:
+        return max(2, round(base * scale))
+
+    return {
+        "locking": lambda p, s: LockingWorkload(
+            p, num_locks=4, acquires_per_proc=n(8), seed=s
+        ),
+        "barrier": lambda p, s: BarrierWorkload(p, phases=n(6), seed=s),
+    }
+
+
+def run_robustness_battery(
+    rates: Sequence[float] = DEFAULT_RATES,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    scale: float = 1.0,
+    seed: int = 1,
+    params: Optional[SystemParams] = None,
+    watchdog_budget_ns: float = 100_000.0,
+    check_every_events: int = 2048,
+    max_events: int = 40_000_000,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ResultTable]:
+    """Run the sweep; returns rendered tables.  Raises on any violation."""
+    say = progress or (lambda msg: None)
+    params = params or SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    workloads = _workloads(scale)
+
+    runtimes: Dict[Tuple[str, str, float], int] = {}
+    fault_totals: Dict[float, Dict[str, int]] = {r: {} for r in rates}
+    runs = completions = checks = 0
+    spurious = 0
+
+    for wl_name, factory in workloads.items():
+        for proto in protocols:
+            for rate in rates:
+                say(f"{wl_name} / {proto} @ {rate:.0%} faults")
+                machine = Machine(
+                    params, proto, seed=seed, faults=FaultConfig.adversarial(rate)
+                )
+                watchdog = LivenessWatchdog(
+                    machine, budget_ns=watchdog_budget_ns,
+                    check_every_events=check_every_events,
+                )
+                monitor = InvariantMonitor(machine, check_every_events)
+                workload = factory(params, seed)
+                result = machine.run(workload, max_events=max_events)
+                machine.check_token_invariants()  # quiescent re-check
+                runs += 1
+                completions += 1
+                checks += monitor.checks + 1
+                spurious += machine.stats.get("arb.spurious_deactivates")
+                assert watchdog.trips == 0  # a trip would have raised
+                runtimes[(wl_name, proto, rate)] = result.runtime_ps
+                for counter in FAULT_COUNTERS:
+                    totals = fault_totals[rate]
+                    totals[counter] = totals.get(counter, 0) + machine.stats.get(counter)
+
+                base = runtimes[(wl_name, proto, rates[0])]
+                slowdown = result.runtime_ps / base if base else 1.0
+                if slowdown > MAX_SLOWDOWN:
+                    raise RobustnessFailure(
+                        f"{wl_name}/{proto} at fault rate {rate}: slowdown "
+                        f"{slowdown:.1f}x exceeds the {MAX_SLOWDOWN:.0f}x bound"
+                    )
+
+    tables: List[ResultTable] = []
+    for wl_name in workloads:
+        t = ResultTable(
+            f"{wl_name} under fault injection: runtime normalized to the "
+            "fault-free run of each protocol",
+            ["fault rate"] + list(protocols),
+        )
+        for rate in rates:
+            t.add(
+                f"{rate:.0%}",
+                *(
+                    f"{runtimes[(wl_name, p, rate)] / runtimes[(wl_name, p, rates[0])]:.2f}"
+                    for p in protocols
+                ),
+            )
+        tables.append(t)
+
+    t = ResultTable(
+        "Injected fault events (summed over workloads and protocols)",
+        ["fault rate"] + [c.split(".", 1)[1] for c in FAULT_COUNTERS],
+    )
+    for rate in rates:
+        t.add(f"{rate:.0%}", *(fault_totals[rate].get(c, 0) for c in FAULT_COUNTERS))
+    tables.append(t)
+
+    t = ResultTable(
+        "Correctness substrate under the adversary",
+        ["runs", "completed", "conservation checks", "violations",
+         "watchdog trips", "spurious deactivates absorbed"],
+    )
+    t.add(runs, completions, checks, 0, 0, spurious)
+    tables.append(t)
+    return tables
+
+
+def write_battery(
+    path: str,
+    rates: Sequence[float] = DEFAULT_RATES,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    scale: float = 1.0,
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Run the battery and write its report; returns the text.
+
+    The report is deterministic: with a fixed seed two runs produce
+    byte-identical files (no timestamps, seeded faults, seeded workloads).
+    """
+    tables = run_robustness_battery(
+        rates=rates, protocols=protocols, scale=scale, seed=seed, progress=progress
+    )
+    header = (
+        "Robustness battery: TokenCMP correctness substrate under an "
+        "adversarial network\n"
+        f"(2 CMPs x 2 processors, seed {seed}, scale {scale}; fault model: "
+        "docs/robustness.md)\n"
+    )
+    text = header + "\n" + "\n\n".join(t.render() for t in tables) + "\n"
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text

@@ -1,0 +1,196 @@
+"""Liveness watchdog and continuous invariant monitor.
+
+Fault injection only demonstrates robustness if something *checks* the
+correctness substrate while the adversary runs.  Two checkers register
+with the simulation kernel's watcher hook
+(:meth:`repro.sim.kernel.Simulator.add_watcher`), so they piggyback on
+event progress instead of scheduling their own events (and therefore
+cannot keep a drained queue alive):
+
+* :class:`LivenessWatchdog` — detects **per-processor starvation** (no
+  instruction retired within a simulated-time budget while events are
+  still firing) and enriches **global quiescence-without-completion**
+  (the queue drained but threads never finished).  Both produce a
+  structured :class:`LivenessDiagnostics` dump: per-block token census,
+  pending persistent-table entries, arbiter queue depths, and the
+  fault-injected messages still in flight.
+
+* :class:`InvariantMonitor` — re-runs the token-conservation and
+  single-owner checks *during* the run, counting tokens inside undelivered
+  messages via the :class:`~repro.faults.injector.FaultyNetwork` in-flight
+  ledger.  Token destruction or forgery is caught within one check
+  interval instead of at the end of the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import DeadlockError, StarvationError
+from repro.common.types import NodeKind, ns, to_ns
+
+
+@dataclasses.dataclass
+class LivenessDiagnostics:
+    """Snapshot of everything relevant to a stuck protocol."""
+
+    now_ps: int
+    stalled_procs: List[Tuple[int, int]]  # (proc, idle_ps)
+    token_census: Dict[int, List[str]]  # addr -> "holder: t=N[,O]" lines
+    persistent_entries: Dict[str, List[str]]  # node -> entry descriptions
+    arbiter_queues: Dict[str, Tuple[int, Optional[str]]]  # node -> (depth, active)
+    in_flight: List[str]  # fault-injected messages not yet delivered
+
+    def render(self, max_blocks: int = 16) -> str:
+        lines = [f"liveness diagnostics at t={to_ns(self.now_ps):.1f} ns"]
+        for proc, idle in self.stalled_procs:
+            lines.append(f"  stalled: proc {proc} idle {to_ns(idle):.1f} ns")
+        for i, (addr, holders) in enumerate(sorted(self.token_census.items())):
+            if i >= max_blocks:
+                lines.append(f"  ... {len(self.token_census) - max_blocks} more blocks")
+                break
+            lines.append(f"  block {addr:#x}: " + "; ".join(holders))
+        for node, entries in sorted(self.persistent_entries.items()):
+            lines.append(f"  persistent@{node}: " + "; ".join(entries))
+        for node, (depth, active) in sorted(self.arbiter_queues.items()):
+            lines.append(f"  arbiter@{node}: queued={depth} active={active}")
+        for msg in self.in_flight:
+            lines.append(f"  in flight: {msg}")
+        return "\n".join(lines)
+
+
+def collect_diagnostics(machine, stalled: List[Tuple[int, int]] = ()) -> LivenessDiagnostics:
+    """Build a :class:`LivenessDiagnostics` snapshot of ``machine``."""
+    census: Dict[int, List[str]] = {}
+    persistent: Dict[str, List[str]] = {}
+    arbiters: Dict[str, Tuple[int, Optional[str]]] = {}
+    if machine.cfg.family == "token":
+        from repro.core.base import TokenCacheController
+        from repro.core.persistent import Arbiter
+
+        for addr in machine.touched_blocks():
+            holders = []
+            for node, ctrl in machine.controllers.items():
+                if isinstance(ctrl, TokenCacheController):
+                    entry = ctrl.peek_entry(addr)
+                    if entry is not None and (entry.tokens or entry.owner):
+                        owner = "+O" if entry.owner else ""
+                        holders.append(f"{node}: t={entry.tokens}{owner}")
+            home = machine.mems[machine.params.home_chip(addr)]
+            if home.tokens_of(addr):
+                owner = "+O" if home.is_owner(addr) else ""
+                holders.append(f"{home.node}: t={home.tokens_of(addr)}{owner}")
+            if holders:
+                census[addr] = holders
+        for node, ctrl in machine.controllers.items():
+            table = getattr(ctrl, "table", None)
+            if table is not None and len(table):
+                persistent[str(node)] = [
+                    f"proc{e.proc}@{e.addr:#x}{'(marked)' if e.marked else ''}"
+                    for addr in {e.addr for e in table._entries.values()}
+                    for e in table.entries_for(addr)
+                ]
+            if isinstance(ctrl, Arbiter):
+                active = str(ctrl._active) if ctrl._active is not None else None
+                arbiters[str(node)] = (len(ctrl._queue), active)
+    in_flight = getattr(machine.net, "in_flight_messages", lambda: [])()
+    return LivenessDiagnostics(
+        now_ps=machine.sim.now,
+        stalled_procs=list(stalled),
+        token_census=census,
+        persistent_entries=persistent,
+        arbiter_queues=arbiters,
+        in_flight=in_flight,
+    )
+
+
+class LivenessWatchdog:
+    """Detects starvation while the simulation is still making progress.
+
+    A processor is starved when it has an unfinished thread but has not
+    completed a memory operation (or think step boundary) within
+    ``budget_ns`` of simulated time.  The budget must exceed the worst
+    *legitimate* wait — a queue of persistent requests ahead of you — so
+    the default is generous; the paper's guarantee is eventual progress,
+    and the watchdog bounds "eventual".
+    """
+
+    def __init__(self, machine, budget_ns: float = 100_000.0,
+                 check_every_events: int = 2048):
+        self.machine = machine
+        self.budget_ps = ns(budget_ns)
+        self.trips = 0
+        self._threads = None
+        self._armed_at_ps = 0
+        machine.sim.add_watcher(self._check, check_every_events)
+        machine.watchdog = self
+
+    # Called by Machine.run --------------------------------------------
+    def arm(self, threads) -> None:
+        self._threads = threads
+        self._armed_at_ps = self.machine.sim.now
+
+    def disarm(self) -> None:
+        self._threads = None
+
+    # ------------------------------------------------------------------
+    def _check(self) -> None:
+        if self._threads is None:
+            return
+        now = self.machine.sim.now
+        stalled = []
+        for proc, seq in enumerate(self.machine.sequencers):
+            if proc < len(self._threads) and self._threads[proc].finished:
+                continue
+            idle = now - max(seq.last_complete_ps, self._armed_at_ps)
+            if idle > self.budget_ps:
+                stalled.append((proc, idle))
+        if stalled:
+            self.trips += 1
+            proc, idle = stalled[0]
+            err = StarvationError(
+                f"processor {proc} retired nothing for {to_ns(idle):.0f} ns "
+                f"(budget {to_ns(self.budget_ps):.0f} ns) at "
+                f"t={to_ns(now):.0f} ns while events kept firing"
+            )
+            err.diagnostics = collect_diagnostics(self.machine, stalled)
+            raise err
+
+    def attach_diagnostics(self, err: DeadlockError) -> DeadlockError:
+        """Enrich a quiescence/deadlock error with a structured dump."""
+        if err.diagnostics is None:
+            now = self.machine.sim.now
+            stalled = []
+            if self._threads is not None:
+                for proc, seq in enumerate(self.machine.sequencers):
+                    if proc < len(self._threads) and self._threads[proc].finished:
+                        continue
+                    stalled.append(
+                        (proc, now - max(seq.last_complete_ps, self._armed_at_ps))
+                    )
+            err.diagnostics = collect_diagnostics(self.machine, stalled)
+        return err
+
+
+class InvariantMonitor:
+    """Continuously verifies token conservation and the single-owner rule.
+
+    Runs the same census as the post-run checker, extended with the tokens
+    inside undelivered messages (the fault injector's in-flight ledger),
+    every ``check_every_events`` fired events.  Raises
+    :class:`~repro.common.errors.ProtocolError` at the first violation —
+    under fault injection this catches token destruction or forgery the
+    moment it becomes visible rather than at quiescence.
+    """
+
+    def __init__(self, machine, check_every_events: int = 2048):
+        if machine.cfg.family != "token":
+            raise ValueError("token invariants only apply to the token family")
+        self.machine = machine
+        self.checks = 0
+        machine.sim.add_watcher(self._check, check_every_events)
+
+    def _check(self) -> None:
+        self.checks += 1
+        self.machine.check_token_invariants()

@@ -44,7 +44,10 @@ class Link:
 
     def traverse(self, start_ps: int, nbytes: int) -> int:
         """Occupy the link for one message; return its arrival time."""
-        serialization_ps = round(nbytes / self.bytes_per_ns * 1000)
+        # Serialization is clamped to >= 1 ps: zero-byte/control messages on
+        # a fast link must still advance ``busy_until``, so same-cycle
+        # messages on one link keep strict FIFO order.
+        serialization_ps = max(1, round(nbytes / self.bytes_per_ns * 1000))
         begin = max(start_ps, self.busy_until)
         self.busy_until = begin + serialization_ps
         self.bytes_carried += nbytes
@@ -103,6 +106,19 @@ class Network:
             arrival = link.traverse(arrival, nbytes)
             self.meter.record(link.scope, msg.mtype.klass, nbytes)
         self.sim.schedule_at(arrival, self._endpoints[msg.dst], msg)
+
+    def send_later(self, delay_ps: int, msg: Message) -> None:
+        """Send ``msg`` after a local processing delay (e.g. DRAM access).
+
+        Fault-injection wrappers override this so a token-carrying message
+        counts as in flight from the moment its sender gave the tokens up,
+        not from when it finally enters the interconnect.
+        """
+        self.sim.schedule(delay_ps, self.send, msg)
+
+    def token_absorbed(self, msg: Message) -> None:
+        """A controller folded ``msg``'s tokens into its state (no-op here;
+        fault-injection wrappers use it to retire in-flight tracking)."""
 
     # ------------------------------------------------------------------
     def _path(self, src: NodeId, dst: NodeId) -> List[Link]:

@@ -42,6 +42,21 @@ class Simulator:
         self._now: int = 0
         self._seq: int = 0
         self.events_fired: int = 0
+        self._watchers: list = []  # (every_events, fn) pairs
+
+    def add_watcher(self, fn: Callable[[], None], every_events: int = 1024) -> None:
+        """Call ``fn()`` every ``every_events`` fired events.
+
+        Watchers piggyback on the event loop instead of scheduling their
+        own events, so they cannot keep an otherwise-drained queue alive
+        (``expect_drain`` still works) and they run only while the
+        simulation is actually making event progress.  A watcher that
+        raises aborts the run with its exception — this is how liveness
+        watchdogs and invariant monitors report violations.
+        """
+        if every_events < 1:
+            raise ValueError(f"every_events must be >= 1, got {every_events}")
+        self._watchers.append((every_events, fn))
 
     @property
     def now(self) -> int:
@@ -92,6 +107,10 @@ class Simulator:
             event.fn(*event.args)
             fired += 1
             self.events_fired += 1
+            if self._watchers:
+                for every, watcher in self._watchers:
+                    if self.events_fired % every == 0:
+                        watcher()
             if max_events is not None and fired >= max_events:
                 if expect_drain:
                     raise DeadlockError(

@@ -45,7 +45,7 @@ class RunResult:
 class Machine:
     """One simulated M-CMP system."""
 
-    def __init__(self, params: SystemParams, proto, seed: int = 0):
+    def __init__(self, params: SystemParams, proto, seed: int = 0, faults=None):
         self.params = params
         self.cfg: ProtocolConfig = (
             proto if isinstance(proto, ProtocolConfig) else lookup_protocol(proto)
@@ -54,7 +54,15 @@ class Machine:
         self.sim = Simulator()
         self.stats = Stats()
         self.meter = TrafficMeter()
-        self.net = Network(self.sim, params, self.meter)
+        net = Network(self.sim, params, self.meter)
+        if faults is not None:
+            # Wrap the interconnect in the adversarial decorator *before*
+            # any controller registers, so every endpoint is faultable.
+            from repro.faults.injector import FaultyNetwork
+
+            net = FaultyNetwork(net, faults, seed=seed, stats=self.stats)
+        self.net = net
+        self.watchdog = None  # set by faults.watchdog.LivenessWatchdog
         self.l1ds: List = []  # per-processor L1 data controllers
         self.l1is: List = []  # per-processor L1 instruction controllers
         self.controllers: Dict[NodeId, object] = {}
@@ -106,12 +114,23 @@ class Machine:
         ]
         for thread in threads:
             thread.start()
-        self.sim.run(max_events=max_events, expect_drain=True)
-        if unfinished["count"]:
-            raise DeadlockError(
-                f"{unfinished['count']} threads never finished "
-                f"({self.cfg.name} / {workload.name}); protocol deadlock"
-            )
+        if self.watchdog is not None:
+            self.watchdog.arm(threads)
+        try:
+            self.sim.run(max_events=max_events, expect_drain=True)
+            if unfinished["count"]:
+                raise DeadlockError(
+                    f"{unfinished['count']} threads never finished "
+                    f"({self.cfg.name} / {workload.name}); the system went "
+                    "quiescent without completing"
+                )
+        except DeadlockError as err:
+            if self.watchdog is not None:
+                raise self.watchdog.attach_diagnostics(err)
+            raise
+        finally:
+            if self.watchdog is not None:
+                self.watchdog.disarm()
         runtime = max(t.finish_time for t in threads)
         self.stats.counters["runtime_ps"] = runtime
         return RunResult(
@@ -164,17 +183,29 @@ class Machine:
         for mem in self.mems.values():
             addrs.update(mem._tokens.keys())
             addrs.update(mem.image._values.keys())
+        in_flight = getattr(self.net, "in_flight_tokens", None)
+        if in_flight is not None:
+            addrs.update(addr for addr, _triple in in_flight())
         return addrs
 
     def check_token_invariants(self) -> None:
         """Verify token conservation and value coherence for every block.
 
-        Call when the event queue is drained (no in-flight messages).
+        Safe at quiescence (drained queue) and, on a fault-injected
+        machine, at any event boundary: the faulty network tracks every
+        token-carrying message from send to absorption, and those
+        in-flight tokens are counted in the census.
         """
         if self.cfg.family != "token":
             raise ProtocolError("token invariants only apply to the token family")
         from repro.core.base import TokenCacheController
         from repro.core.tokens import check_conservation
+
+        in_flight_by_addr: Dict[int, list] = {}
+        collect = getattr(self.net, "in_flight_tokens", None)
+        if collect is not None:
+            for addr, triple in collect():
+                in_flight_by_addr.setdefault(addr, []).append(triple)
 
         for addr in self.touched_blocks():
             home = self.mems[self.params.home_chip(addr)]
@@ -190,6 +221,7 @@ class Machine:
                 mem_owner=home.is_owner(addr),
                 mem_value=home.image.read(addr),
                 total_tokens=self.params.tokens_per_block,
+                in_flight=in_flight_by_addr.get(addr, ()),
             )
 
     def coherent_value(self, addr: int) -> int:

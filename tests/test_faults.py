@@ -1,0 +1,289 @@
+"""Tests for the fault-injection subsystem: adversarial network, liveness
+watchdog, and continuous invariant monitoring."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, ProtocolError, StarvationError
+from repro.common.params import SystemParams
+from repro.common.stats import Stats
+from repro.faults.injector import ClassPolicy, FaultConfig, FaultyNetwork
+from repro.faults.watchdog import InvariantMonitor, LivenessWatchdog
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import TrafficMeter
+from repro.sim.kernel import Simulator
+from repro.system.machine import Machine
+from repro.workloads.base import Workload
+from repro.workloads.locking import LockingWorkload
+
+
+def build_faulty(config, seed=1):
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    sim = Simulator()
+    net = FaultyNetwork(Network(sim, params, TrafficMeter()), config, seed, Stats())
+    return sim, net, params
+
+
+def sink(log, sim):
+    def handler(msg):
+        log.append((sim.now, msg))
+    return handler
+
+
+# ---------------------------------------------------------------------------
+# FaultyNetwork unit behaviour.
+# ---------------------------------------------------------------------------
+def test_transient_requests_can_be_dropped():
+    sim, net, p = build_faulty(FaultConfig(request=ClassPolicy(drop=1.0)))
+    log = []
+    net.register(p.l1d_of(1), sink(log, sim))
+    net.send(Message(MsgType.TOK_GETS, p.l1d_of(0), p.l1d_of(1), 0x100,
+                     requestor=p.l1d_of(0)))
+    sim.run()
+    assert log == []
+    assert net.stats.get("faults.dropped") == 1
+    assert net.stats.get("faults.dropped.request") == 1
+
+
+def test_transient_requests_can_be_duplicated():
+    sim, net, p = build_faulty(
+        FaultConfig(request=ClassPolicy(duplicate=1.0, reorder_window_ps=0))
+    )
+    log = []
+    net.register(p.l1d_of(1), sink(log, sim))
+    net.send(Message(MsgType.TOK_GETS, p.l1d_of(0), p.l1d_of(1), 0x100,
+                     requestor=p.l1d_of(0)))
+    sim.run()
+    assert len(log) == 2
+    assert net.stats.get("faults.duplicated") == 1
+
+
+def test_token_carriers_are_never_dropped_by_default():
+    sim, net, p = build_faulty(FaultConfig(response=ClassPolicy(drop=1.0)))
+    log = []
+    net.register(p.l1d_of(1), sink(log, sim))
+    net.send(Message(MsgType.TOK_ACK, p.l1d_of(0), p.l1d_of(1), 0x100, tokens=3))
+    sim.run()
+    assert len(log) == 1  # delivered despite the 100% drop policy
+    assert net.stats.get("faults.suppressed.drop.response") == 1
+    assert net.stats.get("faults.dropped") == 0
+
+
+def test_token_carriers_are_never_duplicated_by_default():
+    sim, net, p = build_faulty(FaultConfig(response=ClassPolicy(duplicate=1.0)))
+    log = []
+    net.register(p.l1d_of(1), sink(log, sim))
+    net.send(Message(MsgType.TOK_ACK, p.l1d_of(0), p.l1d_of(1), 0x100, tokens=3))
+    sim.run()
+    assert len(log) == 1
+    assert net.stats.get("faults.suppressed.duplicate.response") == 1
+
+
+def test_unsafe_drop_destroys_tokens_and_is_counted():
+    sim, net, p = build_faulty(
+        FaultConfig(response=ClassPolicy(drop=1.0), allow_unsafe=True)
+    )
+    log = []
+    net.register(p.l1d_of(1), sink(log, sim))
+    net.send(Message(MsgType.TOK_ACK, p.l1d_of(0), p.l1d_of(1), 0x100, tokens=3))
+    sim.run()
+    assert log == []
+    assert net.stats.get("faults.tokens_destroyed") == 3
+    assert list(net.in_flight_tokens()) == []  # destroyed, not stuck in flight
+
+
+def test_delay_fault_postpones_delivery():
+    sim, net, p = build_faulty(FaultConfig(response=ClassPolicy(delay=1.0)))
+    plain_sim, plain_net, _ = build_faulty(FaultConfig())
+    faulty_log, plain_log = [], []
+    net.register(p.l1d_of(1), sink(faulty_log, sim))
+    plain_net.register(p.l1d_of(1), sink(plain_log, plain_sim))
+    msg = lambda: Message(MsgType.TOK_ACK, p.l1d_of(0), p.l1d_of(1), 0x100, tokens=1)
+    net.send(msg())
+    plain_net.send(msg())
+    sim.run()
+    plain_sim.run()
+    assert faulty_log[0][0] > plain_log[0][0]
+    assert net.stats.get("faults.delayed") == 1
+
+
+def test_persistent_messages_keep_fifo_order_under_jitter():
+    sim, net, p = build_faulty(
+        FaultConfig(persistent=ClassPolicy(delay=0.5, reorder=0.5,
+                                           delay_ps=50_000, fifo=True))
+    )
+    log = []
+    arb = p.home_arbiter(0x100)
+    net.register(arb, sink(log, sim))
+    src = p.l1d_of(0)
+    for serial in range(20):
+        net.send(Message(MsgType.PERSIST_REQ, src, arb, 0x100,
+                         requestor=src, serial=serial, extra=0))
+    sim.run()
+    assert [m.serial for _t, m in log] == list(range(20))
+    times = [t for t, _m in log]
+    assert times == sorted(times)
+
+
+def test_in_flight_tokens_tracked_until_absorbed():
+    sim, net, p = build_faulty(FaultConfig(response=ClassPolicy(delay=1.0)))
+    delivered = []
+
+    def absorbing_handler(msg):
+        delivered.append(msg)
+        net.token_absorbed(msg)  # what TokenCacheController._on_tokens does
+
+    net.register(p.l1d_of(1), absorbing_handler)
+    net.send(Message(MsgType.TOK_DATA, p.l1d_of(0), p.l1d_of(1), 0x100,
+                     tokens=4, owner=True, data=7))
+    assert list(net.in_flight_tokens()) == [(0x100, (4, True, 7))]
+    sim.run()
+    assert delivered and list(net.in_flight_tokens()) == []
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        ClassPolicy(drop=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Whole-machine integration: the correctness substrate under the adversary.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("proto", ["TokenCMP-arb0", "TokenCMP-dst0", "TokenCMP-dst4"])
+def test_locking_completes_under_ten_percent_faults(small_params, proto):
+    machine = Machine(small_params, proto, seed=3,
+                      faults=FaultConfig.adversarial(0.10))
+    watchdog = LivenessWatchdog(machine)
+    monitor = InvariantMonitor(machine, check_every_events=512)
+    wl = LockingWorkload(small_params, num_locks=4, acquires_per_proc=6, seed=3)
+    machine.run(wl, max_events=20_000_000)
+    machine.check_token_invariants()
+    assert all(c == 6 for c in wl.acquired_counts)
+    assert watchdog.trips == 0
+    assert monitor.checks > 0
+
+
+def test_faulty_runs_are_reproducible(small_params):
+    def one_run():
+        machine = Machine(small_params, "TokenCMP-dst1", seed=5,
+                          faults=FaultConfig.adversarial(0.15))
+        wl = LockingWorkload(small_params, num_locks=2, acquires_per_proc=6, seed=5)
+        result = machine.run(wl, max_events=20_000_000)
+        return result.runtime_ps, dict(machine.stats.counters)
+
+    assert one_run() == one_run()
+
+
+def test_fault_free_wrapper_changes_nothing(small_params):
+    def run(faults):
+        machine = Machine(small_params, "TokenCMP-dst1", seed=2, faults=faults)
+        wl = LockingWorkload(small_params, num_locks=4, acquires_per_proc=5, seed=2)
+        return machine.run(wl, max_events=20_000_000).runtime_ps
+
+    assert run(None) == run(FaultConfig())
+
+
+# ---------------------------------------------------------------------------
+# Liveness watchdog.
+# ---------------------------------------------------------------------------
+class _OneStarvedProc(Workload):
+    """Proc 0 issues a single miss; the other procs compute without memory.
+
+    With an (unsafely) lossy network proc 0 starves while events keep
+    firing — exactly what the watchdog exists to catch.
+    """
+
+    name = "one-starved-proc"
+
+    def __init__(self, params, spins=4000):
+        super().__init__(params, seed=0)
+        self.spins = spins
+        self.blocks = self.alloc.blocks(params.num_procs)
+
+    def generators(self):
+        from repro.cpu.ops import Store, Think
+
+        def starved():
+            yield Store(self.blocks[0], 1)
+
+        def spinner():
+            for _ in range(self.spins):
+                yield Think(duration_ns=50.0)
+
+        return [starved()] + [spinner() for _ in range(1, self.params.num_procs)]
+
+
+def _lossy_unsafe():
+    # Drop every coherence message proc 0's miss depends on.
+    lossy = ClassPolicy(drop=1.0)
+    return FaultConfig(request=lossy, response=lossy, persistent=lossy,
+                       allow_unsafe=True)
+
+
+def test_watchdog_raises_starvation_error_with_diagnostics(small_params):
+    machine = Machine(small_params, "TokenCMP-dst0", seed=1, faults=_lossy_unsafe())
+    LivenessWatchdog(machine, budget_ns=500.0, check_every_events=64)
+    with pytest.raises(StarvationError) as exc:
+        machine.run(_OneStarvedProc(small_params), max_events=5_000_000)
+    diag = exc.value.diagnostics
+    assert diag is not None
+    assert diag.stalled_procs and diag.stalled_procs[0][0] == 0
+    assert "stalled: proc 0" in diag.render()
+
+
+def test_quiescence_without_completion_gets_diagnostics(small_params):
+    # Every proc's only operation is a miss whose messages all vanish: the
+    # event queue drains with unfinished threads (global quiescence).
+    class AllStarved(Workload):
+        name = "all-starved"
+
+        def __init__(self, params):
+            super().__init__(params, seed=0)
+            self.blocks = self.alloc.blocks(params.num_procs)
+
+        def generators(self):
+            from repro.cpu.ops import Store
+
+            def thread(proc):
+                yield Store(self.blocks[proc], 1)
+
+            return [thread(p) for p in range(self.params.num_procs)]
+
+    machine = Machine(small_params, "TokenCMP-dst0", seed=1, faults=_lossy_unsafe())
+    LivenessWatchdog(machine, budget_ns=1e9)  # too lazy to trip first
+    with pytest.raises(DeadlockError) as exc:
+        machine.run(AllStarved(small_params), max_events=5_000_000)
+    assert not isinstance(exc.value, StarvationError)
+    assert exc.value.diagnostics is not None
+    assert len(exc.value.diagnostics.stalled_procs) == small_params.num_procs
+
+
+# ---------------------------------------------------------------------------
+# Continuous invariant monitoring.
+# ---------------------------------------------------------------------------
+def test_invariant_monitor_catches_token_destruction(small_params):
+    machine = Machine(
+        small_params, "TokenCMP-dst0", seed=1,
+        faults=FaultConfig(response=ClassPolicy(drop=1.0), allow_unsafe=True),
+    )
+    InvariantMonitor(machine, check_every_events=32)
+    wl = LockingWorkload(small_params, num_locks=2, acquires_per_proc=4, seed=1)
+    with pytest.raises((ProtocolError, DeadlockError)) as exc:
+        machine.run(wl, max_events=5_000_000)
+    # Tokens were dropped on the floor; the monitor must flag conservation
+    # (unless the run starved first, in which case quiescence is reported).
+    if isinstance(exc.value, ProtocolError):
+        assert "token count" in str(exc.value)
+    assert machine.stats.get("faults.tokens_destroyed") > 0
+
+
+def test_invariant_monitor_rejects_non_token_families(small_params):
+    machine = Machine(small_params, "DirectoryCMP", seed=1)
+    with pytest.raises(ValueError):
+        InvariantMonitor(machine)
+
+
+def test_kernel_watcher_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.add_watcher(lambda: None, every_events=0)

@@ -139,3 +139,31 @@ def test_arbiter_fifo_and_cancellation(rig):
                      requestor=a, extra=1))
     sim.run()
     assert arb._active is None
+
+
+def test_arbiter_counts_and_drops_spurious_deactivate(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    arb = Arbiter(NodeId(NodeKind.ARB, 0), sim, net, params, stats)
+    b = params.l1d_of(2)
+    # A deactivate for a request that is neither active nor queued — the
+    # Section 3.2 duplicated/delayed-message race.  Must count, not raise.
+    net.send(Message(MsgType.PERSIST_DEACTIVATE, b, arb.node, BLOCK,
+                     requestor=b, extra=2))
+    sim.run()
+    assert stats.get("arb.spurious_deactivates") == 1
+    assert arb._active is None and not arb._queue
+
+
+def test_duplicated_deactivate_after_retirement_is_spurious(rig):
+    params, sim, net, stats, mem, requestor, inbox = rig
+    arb = Arbiter(NodeId(NodeKind.ARB, 0), sim, net, params, stats)
+    a = params.l1d_of(1)
+    net.send(Message(MsgType.PERSIST_REQ, a, arb.node, BLOCK,
+                     requestor=a, prio=1, read=False, extra=1))
+    sim.run()
+    for _ in range(2):  # original deactivate, then a network duplicate
+        net.send(Message(MsgType.PERSIST_DEACTIVATE, a, arb.node, BLOCK,
+                         requestor=a, extra=1))
+    sim.run()
+    assert arb._active is None
+    assert stats.get("arb.spurious_deactivates") == 1

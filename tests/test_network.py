@@ -127,3 +127,19 @@ def test_mem_to_remote_chip_path():
     sim.run()
     # mem link 20 + inter 20 + intra 2 (+ serialization x3).
     assert arrivals[0] == ns(42) + 125 + 500 + 125
+
+
+def test_zero_cost_serialization_clamped_to_one_ps():
+    from repro.interconnect.network import Link
+
+    link = Link("x", Scope.INTRA, 0, 1e9)  # absurdly fast link
+    assert link.traverse(100, 8) == 101  # not 100: serialization >= 1 ps
+
+
+def test_same_cycle_sends_keep_fifo_order_on_one_link():
+    from repro.interconnect.network import Link
+
+    link = Link("x", Scope.INTRA, ns(2), 1e9)
+    arrivals = [link.traverse(0, 0) for _ in range(5)]
+    assert arrivals == sorted(arrivals)
+    assert len(set(arrivals)) == 5  # strictly increasing, no ties to resolve

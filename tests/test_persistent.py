@@ -78,3 +78,90 @@ def test_entries_for_lists_block_requests():
     t.insert(entry(2, addr=0x100))
     t.insert(entry(3, addr=0x300))
     assert {e.proc for e in t.entries_for(0x100)} == {1, 2}
+
+
+def test_duplicate_activate_preserves_marked_bit():
+    t = PersistentTable()
+    t.insert(entry(1))
+    t.mark_all_for(0x100)
+    t.insert(entry(1))  # a duplicated / re-broadcast activate arrives late
+    assert t.has_marked_for(0x100)
+
+
+def test_new_request_for_other_block_starts_unmarked():
+    t = PersistentTable()
+    t.insert(entry(1, addr=0x100))
+    t.mark_all_for(0x100)
+    t.insert(entry(1, addr=0x200))  # genuinely new request, not a duplicate
+    assert not t.has_marked_for(0x200)
+
+
+# ---------------------------------------------------------------------------
+# Property-style tests: the table under duplicated / reordered activates.
+# ---------------------------------------------------------------------------
+from hypothesis import given
+from hypothesis import strategies as st
+
+ADDRS = (0x100, 0x200, 0x300)
+
+table_ops = st.lists(
+    st.tuples(
+        st.sampled_from(("insert", "remove", "mark")),
+        st.integers(min_value=0, max_value=3),  # proc
+        st.sampled_from(ADDRS),
+    ),
+    max_size=30,
+)
+
+
+@given(table_ops)
+def test_table_matches_reference_model(ops):
+    """Any interleaving of (possibly duplicated, reordered) activates,
+    deactivates, and marking waves keeps the table equal to a trivial
+    reference model: one (addr, marked) per processor."""
+    t = PersistentTable()
+    model = {}  # proc -> (addr, marked)
+    for op, proc, addr in ops:
+        if op == "insert":
+            t.insert(entry(proc, addr=addr))
+            prev = model.get(proc)
+            marked = prev is not None and prev[0] == addr and prev[1]
+            model[proc] = (addr, marked)
+        elif op == "remove":
+            removed = t.remove(proc, addr)
+            if proc in model and model[proc][0] == addr:
+                assert removed is not None and removed.proc == proc
+                del model[proc]
+            else:
+                assert removed is None  # stale deactivate must be a no-op
+        else:
+            t.mark_all_for(addr)
+            model = {
+                p: (a, m or a == addr) for p, (a, m) in model.items()
+            }
+        assert len(t) == len(model)  # at most one entry per processor
+        for a in ADDRS:
+            waiting = [p for p, (ad, _m) in model.items() if ad == a]
+            active = t.active_for(a)
+            if waiting:
+                assert active is not None
+                assert active.proc == min(waiting)  # fixed priority = proc id
+            else:
+                assert active is None
+            assert t.has_marked_for(a) == any(
+                ad == a and m for ad, m in model.values()
+            )
+
+
+@given(
+    st.integers(min_value=0, max_value=3),
+    st.sampled_from(ADDRS),
+    st.sampled_from(ADDRS),
+)
+def test_stale_remove_never_clobbers_newer_request(proc, old_addr, new_addr):
+    t = PersistentTable()
+    t.insert(entry(proc, addr=old_addr))
+    t.insert(entry(proc, addr=new_addr))  # newer request replaces the older
+    if old_addr != new_addr:
+        assert t.remove(proc, old_addr) is None  # late deactivate: no-op
+    assert t.active_for(new_addr) is not None

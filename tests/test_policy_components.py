@@ -105,3 +105,38 @@ def test_filter_capacity_eviction_falls_back_to_broadcast():
     assert f.evictions == 1
     assert f.destinations(0x100, ALL_L1S) == ALL_L1S  # safe fallback
     assert f.destinations(0x300, ALL_L1S) == [l1(2)]
+
+
+def test_estimator_single_sample_dominates_with_full_alpha():
+    est = TimeoutEstimator(initial_ns=300, multiplier=2.0, alpha=1.0, floor_ns=0)
+    est.observe_memory_response(ns(150))
+    assert est.samples == 1
+    assert est.threshold_ps() == ns(300)  # 150 ns avg x 2.0
+
+
+def test_estimator_backoff_escalates_per_retry():
+    est = TimeoutEstimator(initial_ns=300, multiplier=1.5, alpha=1.0, floor_ns=0,
+                           backoff_base=2.0, backoff_cap=8.0)
+    base = est.threshold_ps(0)
+    assert est.threshold_ps(1) == 2 * base
+    assert est.threshold_ps(2) == 4 * base
+    assert est.threshold_ps(3) == 8 * base
+
+
+def test_estimator_backoff_is_capped():
+    est = TimeoutEstimator(initial_ns=300, floor_ns=0)  # cap 8 = base 2 ** 3
+    assert est.threshold_ps(10) == est.threshold_ps(3)
+
+
+def test_estimator_fresh_transaction_starts_at_base_multiplier():
+    # Backoff is stateless per transaction: a fresh miss (no retries yet)
+    # must see the same threshold as the explicit retry count of zero.
+    est = TimeoutEstimator()
+    est.observe_memory_response(ns(250))
+    assert est.threshold_ps() == est.threshold_ps(0)
+
+
+def test_estimator_floor_applies_under_backoff():
+    est = TimeoutEstimator(multiplier=1.0, alpha=1.0, floor_ns=100)
+    est.observe_memory_response(ns(1))
+    assert est.threshold_ps(3) == ns(100)  # 8 x 1 ns still below the floor
