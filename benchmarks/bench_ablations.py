@@ -9,6 +9,11 @@ credits for TokenCMP's behaviour:
 * C-token vs 1-token external read responses (Section 4);
 * the bounded response-delay window (Section 3.2, Rajwar-inspired);
 * the contention predictor's benefit under high lock contention.
+
+Ablated variants are plain :class:`ProtocolConfig` values, so their cells
+run through the experiment engine like every other experiment — cached
+and parallelizable (the full protocol config is part of the cache key, so
+flipping a knob recomputes exactly the flipped cells).
 """
 
 from __future__ import annotations
@@ -17,31 +22,25 @@ import dataclasses
 
 import pytest
 
-from bench_common import emit, full_params
-from repro.analysis.report import ResultTable, run_one
+from bench_common import emit, engine_runner, full_params
+from repro.analysis.report import ResultTable
+from repro.exp.spec import Cell, ExperimentSpec
 from repro.system.config import PROTOCOLS, ProtocolConfig
-from repro.workloads.locking import LockingWorkload
-from repro.workloads.sharing import CounterWorkload, ReadSharingWorkload
 
 
 def _variant(base: str, **changes) -> ProtocolConfig:
-    return dataclasses.replace(PROTOCOLS[base], **changes)
+    cfg = dataclasses.replace(PROTOCOLS[base], **changes)
+    # Distinguish the ablated variant in results and cache keys by name
+    # as well as by config (the config alone already changes the key).
+    return dataclasses.replace(
+        cfg, name=f"{base}~" + ",".join(sorted(changes)),
+    )
 
 
-def _counter_factory(params, seed):
-    return CounterWorkload(params, increments=10, seed=seed)
-
-
-def _hot_locks_factory(params, seed):
-    return LockingWorkload(params, num_locks=4, acquires_per_proc=12, seed=seed)
-
-
-def _cold_locks_factory(params, seed):
-    return LockingWorkload(params, num_locks=256, acquires_per_proc=12, seed=seed)
-
-
-def _read_sharing_factory(params, seed):
-    return ReadSharingWorkload(params, shared_blocks=16, rounds=6, seed=seed)
+COUNTER = ("counter", {"increments": 10})
+HOT_LOCKS = ("locking", {"num_locks": 4, "acquires_per_proc": 12})
+COLD_LOCKS = ("locking", {"num_locks": 256, "acquires_per_proc": 12})
+READ_SHARING = ("read-sharing", {"shared_blocks": 16, "rounds": 6})
 
 
 def run_experiment():
@@ -51,32 +50,33 @@ def run_experiment():
         "(runtime relative to the full protocol; >1.00 means the mechanism helps)",
         ["mechanism removed", "workload", "relative runtime"],
     )
+
+    cases = [
+        # (row key, protocol config, (workload, kwargs))
+        ("base_counter", PROTOCOLS["TokenCMP-dst1"], COUNTER),
+        ("base_hot", PROTOCOLS["TokenCMP-dst1"], HOT_LOCKS),
+        ("base_share", PROTOCOLS["TokenCMP-dst1"], READ_SHARING),
+        ("migratory", _variant("TokenCMP-dst1", migratory=False), COUNTER),
+        ("ctokens", _variant("TokenCMP-dst1", read_tokens_c=False), READ_SHARING),
+        ("delay", _variant("TokenCMP-dst1", response_delay=False), HOT_LOCKS),
+        ("pred", PROTOCOLS["TokenCMP-dst1-pred"], HOT_LOCKS),
+    ]
+    spec = ExperimentSpec("ablations", tuple(
+        Cell(protocol=cfg, workload=wl, workload_kwargs=kwargs,
+             seed=1, params=params, label=key)
+        for key, cfg, (wl, kwargs) in cases
+    ))
+    result = engine_runner().run(spec)
+    runtime = {key: result.cell(label=key).runtime_ps for key, _c, _w in cases}
+
     rows = {}
-
-    def measure(cfg, factory):
-        return run_one(params, cfg, factory, seed=1).runtime_ps
-
-    base_counter = measure(PROTOCOLS["TokenCMP-dst1"], _counter_factory)
-    base_hot = measure(PROTOCOLS["TokenCMP-dst1"], _hot_locks_factory)
-
-    rows["migratory"] = measure(
-        _variant("TokenCMP-dst1", migratory=False), _counter_factory
-    ) / base_counter
+    rows["migratory"] = runtime["migratory"] / runtime["base_counter"]
     table.add("migratory sharing", "shared counter", f"{rows['migratory']:.2f}")
-
-    base_share = measure(PROTOCOLS["TokenCMP-dst1"], _read_sharing_factory)
-    rows["ctokens"] = measure(
-        _variant("TokenCMP-dst1", read_tokens_c=False), _read_sharing_factory
-    ) / base_share
+    rows["ctokens"] = runtime["ctokens"] / runtime["base_share"]
     table.add("C-token read responses", "read sharing", f"{rows['ctokens']:.2f}")
-
-    rows["delay"] = measure(
-        _variant("TokenCMP-dst1", response_delay=False), _hot_locks_factory
-    ) / base_hot
+    rows["delay"] = runtime["delay"] / runtime["base_hot"]
     table.add("response-delay window", "locking (4 locks)", f"{rows['delay']:.2f}")
-
-    pred = measure(PROTOCOLS["TokenCMP-dst1-pred"], _hot_locks_factory)
-    rows["pred"] = base_hot / pred
+    rows["pred"] = runtime["base_hot"] / runtime["pred"]
     table.add(
         "(adding) contention predictor", "locking (4 locks)",
         f"{rows['pred']:.2f}x speedup",
@@ -93,17 +93,13 @@ def run_flat_policy_experiment():
     the runtimes are close — the cost shows up as traffic.
     """
     from repro.interconnect.traffic import Scope
-    from repro.workloads.commercial import make_commercial
 
-    params = full_params()
-    out = {}
-    for proto in ("TokenB", "TokenCMP-dst1"):
-        machine_result = run_one(
-            params, proto,
-            lambda p, s: make_commercial(p, "oltp", seed=s, refs_per_proc=200),
-            seed=1,
-        )
-        out[proto] = machine_result
+    protocols = ["TokenB", "TokenCMP-dst1"]
+    result = engine_runner().run(ExperimentSpec.grid(
+        "ablation-flat", protocols, ("oltp", {"refs_per_proc": 200}),
+        params=full_params(),
+    ))
+    out = result.by_protocol(protocols)
     table = ResultTable(
         "Flat (TokenB) vs hierarchical (TokenCMP-dst1) performance policy, OLTP",
         ["protocol", "runtime (rel)", "intra-CMP bytes (rel)", "inter-CMP bytes (rel)"],
@@ -113,8 +109,8 @@ def run_flat_policy_experiment():
         table.add(
             proto,
             f"{res.runtime_ps / base.runtime_ps:.2f}",
-            f"{res.meter.scope_bytes(Scope.INTRA) / base.meter.scope_bytes(Scope.INTRA):.2f}",
-            f"{res.meter.scope_bytes(Scope.INTER) / base.meter.scope_bytes(Scope.INTER):.2f}",
+            f"{res.scope_bytes(Scope.INTRA) / base.scope_bytes(Scope.INTRA):.2f}",
+            f"{res.scope_bytes(Scope.INTER) / base.scope_bytes(Scope.INTER):.2f}",
         )
     return out, table
 
@@ -127,8 +123,8 @@ def test_flat_vs_hierarchical_policy(benchmark):
 
     flat, hier = out["TokenB"], out["TokenCMP-dst1"]
     # The hierarchical policy saves substantial traffic on both networks.
-    assert flat.meter.scope_bytes(Scope.INTER) > 1.5 * hier.meter.scope_bytes(Scope.INTER)
-    assert flat.meter.scope_bytes(Scope.INTRA) > 1.2 * hier.meter.scope_bytes(Scope.INTRA)
+    assert flat.scope_bytes(Scope.INTER) > 1.5 * hier.scope_bytes(Scope.INTER)
+    assert flat.scope_bytes(Scope.INTRA) > 1.2 * hier.scope_bytes(Scope.INTRA)
 
 
 @pytest.mark.benchmark(group="ablations")

@@ -1,8 +1,19 @@
 """Shared infrastructure for the experiment benchmarks.
 
-Each ``bench_*`` module regenerates one table or figure from the paper.
-Results are printed AND written to ``benchmarks/results/<name>.txt`` so
-they survive pytest's output capturing; EXPERIMENTS.md records a snapshot.
+Each ``bench_*`` module regenerates one table or figure from the paper by
+driving a named :mod:`repro.exp.library` experiment (or an ad-hoc spec)
+through the engine.  Results are printed AND written to
+``benchmarks/results/<name>.txt`` so they survive pytest's output
+capturing; EXPERIMENTS.md records a snapshot.
+
+Engine knobs (surfaced everywhere the benchmarks run):
+
+* ``REPRO_JOBS=N``     — fan cells out over N worker processes;
+* ``REPRO_NO_CACHE=1`` — recompute every cell, bypassing the
+  content-addressed cache under ``benchmarks/results/.cache/``.
+
+Parallelism and caching never change results — each cell is an
+independent deterministic simulation.
 
 The runs are scaled down from the paper's (hundreds of transactions
 instead of full-system workloads) — the claims being reproduced are the
@@ -12,13 +23,18 @@ instead of full-system workloads) — the claims being reproduced are the
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+import warnings
+from typing import Callable, Dict, Iterable, Optional, Sequence, Union
 
-from repro.analysis.report import ResultTable, run_one
+from repro.analysis.report import ResultTable
 from repro.common.params import SystemParams
-from repro.system.machine import RunResult
+from repro.exp.library import EXPERIMENTS
+from repro.exp.result import CellResult
+from repro.exp.runner import ExperimentResult, Runner
+from repro.exp.spec import Cell, ExperimentSpec
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIR = os.path.join(RESULTS_DIR, ".cache")
 
 TOKEN_VARIANTS = [
     "TokenCMP-dst4",
@@ -29,10 +45,37 @@ TOKEN_VARIANTS = [
 DIR_VARIANTS = ["DirectoryCMP", "DirectoryCMP-zero"]
 PERSISTENT_ONLY = ["TokenCMP-arb0", "TokenCMP-dst0"]
 
+GRID_MAX_EVENTS = 120_000_000
+
 
 def full_params() -> SystemParams:
     """The paper's 4-CMP x 4-processor target system (Table 3)."""
     return SystemParams()
+
+
+def engine_jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
+def engine_use_cache() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("1", "true", "yes")
+
+
+def engine_runner(progress: Optional[Callable[[str], None]] = None) -> Runner:
+    """The benchmarks' engine: REPRO_JOBS / REPRO_NO_CACHE aware."""
+    return Runner(
+        jobs=engine_jobs(),
+        cache=engine_use_cache(),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or CACHE_DIR,
+        progress=progress,
+    )
+
+
+def run_library(exp_id: str):
+    """Run a named library experiment; returns (result, tables)."""
+    exp = EXPERIMENTS[exp_id]
+    result = engine_runner().run(exp.build())
+    return result, exp.render(result)
 
 
 def emit(name: str, tables: Iterable[ResultTable]) -> str:
@@ -47,21 +90,51 @@ def emit(name: str, tables: Iterable[ResultTable]) -> str:
     return text
 
 
+def grid_spec(
+    name: str,
+    params: SystemParams,
+    protocols: Sequence,
+    workload: Union[str, Callable],
+    seeds: Sequence[int] = (1,),
+    max_events: Optional[int] = GRID_MAX_EVENTS,
+    **wl_kwargs,
+) -> ExperimentSpec:
+    """An ad-hoc protocol x seed grid over one declarative workload."""
+    return ExperimentSpec(name, tuple(
+        Cell(protocol=proto, workload=workload, workload_kwargs=wl_kwargs,
+             seed=seed, params=params, max_events=max_events)
+        for proto in protocols
+        for seed in seeds
+    ))
+
+
 def runtime_grid(
     params: SystemParams,
     protocols: Sequence[str],
     workload_factory: Callable[[SystemParams, int], object],
     seeds: Sequence[int] = (1,),
-    max_events: Optional[int] = 120_000_000,
+    max_events: Optional[int] = GRID_MAX_EVENTS,
 ) -> Dict[str, float]:
-    """Mean runtime in ps per protocol."""
-    out = {}
-    for proto in protocols:
-        total = 0.0
-        for seed in seeds:
-            total += run_one(params, proto, workload_factory, seed, max_events).runtime_ps
-        out[proto] = total / len(seeds)
-    return out
+    """Deprecated: mean runtime in ps per protocol from a legacy callable.
+
+    Callable factories defeat the cache and the process pool; build a
+    declarative spec (``grid_spec`` / ``repro.exp.ExperimentSpec.grid``)
+    instead.
+    """
+    warnings.warn(
+        "bench_common.runtime_grid is deprecated; use grid_spec + "
+        "engine_runner (declarative workloads cache and parallelize)",
+        DeprecationWarning, stacklevel=2,
+    )
+    spec = ExperimentSpec("legacy-runtime-grid", tuple(
+        Cell(protocol=proto, workload=workload_factory, seed=seed,
+             params=params, max_events=max_events)
+        for proto in protocols
+        for seed in seeds
+    ))
+    result = engine_runner().run(spec)
+    return result.runtime_grid(list(p if isinstance(p, str) else p.name
+                                    for p in protocols))
 
 
 def results_grid(
@@ -69,9 +142,20 @@ def results_grid(
     protocols: Sequence[str],
     workload_factory: Callable[[SystemParams, int], object],
     seed: int = 1,
-    max_events: Optional[int] = 120_000_000,
-) -> Dict[str, RunResult]:
-    return {
-        proto: run_one(params, proto, workload_factory, seed, max_events)
+    max_events: Optional[int] = GRID_MAX_EVENTS,
+) -> Dict[str, CellResult]:
+    """Deprecated: one CellResult per protocol from a legacy callable."""
+    warnings.warn(
+        "bench_common.results_grid is deprecated; use grid_spec + "
+        "engine_runner (declarative workloads cache and parallelize)",
+        DeprecationWarning, stacklevel=2,
+    )
+    spec = ExperimentSpec("legacy-results-grid", tuple(
+        Cell(protocol=proto, workload=workload_factory, seed=seed,
+             params=params, max_events=max_events)
         for proto in protocols
-    }
+    ))
+    result = engine_runner().run(spec)
+    return result.by_protocol(
+        [p if isinstance(p, str) else p.name for p in protocols]
+    )

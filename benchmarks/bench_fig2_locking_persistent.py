@@ -6,55 +6,28 @@ Paper claims reproduced (shape):
 * TokenCMP-dst0 (distributed activation) is comparable to or better than
   the directory variants across the contention range;
 * runtimes are normalized to DirectoryCMP at 512 locks.
+
+The grid is the ``fig2`` entry of :mod:`repro.exp.library`, also
+runnable as ``python -m repro bench fig2``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from bench_common import emit, full_params, runtime_grid
-from repro.analysis.report import ResultTable
-from repro.workloads.locking import LockingWorkload
-
-LOCK_COUNTS = [2, 4, 8, 16, 32, 64, 128, 256, 512]
-PROTOCOLS = ["TokenCMP-arb0", "DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst0"]
-ACQUIRES = 12
-
-
-def _factory(num_locks):
-    def make(params, seed):
-        return LockingWorkload(
-            params, num_locks=num_locks, acquires_per_proc=ACQUIRES, seed=seed
-        )
-    return make
+from bench_common import emit, run_library
+from repro.exp.library import FIG2_PROTOCOLS, locking_grid
 
 
 def run_experiment():
-    params = full_params()
-    # High-contention points are noisy: average over perturbed runs, the
-    # paper's Alameldeen & Wood methodology (error bars).
-    grid = {
-        nl: runtime_grid(
-            params, PROTOCOLS, _factory(nl),
-            seeds=(1, 2, 3) if nl <= 8 else (1,),
-        )
-        for nl in LOCK_COUNTS
-    }
-    base = grid[512]["DirectoryCMP"]
-    table = ResultTable(
-        "Figure 2 - locking micro-benchmark, persistent requests only "
-        "(runtime normalized to DirectoryCMP @ 512 locks; smaller is better)",
-        ["locks"] + PROTOCOLS,
-    )
-    for nl in LOCK_COUNTS:
-        table.add(nl, *(f"{grid[nl][p] / base:.2f}" for p in PROTOCOLS))
-    return grid, table
+    result, tables = run_library("fig2")
+    return locking_grid(result, FIG2_PROTOCOLS), tables
 
 
 @pytest.mark.benchmark(group="fig2")
 def test_fig2_locking_persistent(benchmark):
-    grid, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    emit("fig2_locking_persistent", [table])
+    grid, tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("fig2_locking_persistent", tables)
 
     # Shape assertions from the paper.
     base = grid[512]["DirectoryCMP"]

@@ -12,61 +12,28 @@ than-dst1 penalty at 2-4 locks does not reproduce here — with blocking
 cores the contended block parks at its holder, so dst4's retries reliably
 succeed instead of failing as they did on the paper's testbed.  We assert
 only that dst4 and dst1 stay within a moderate factor of each other.
+
+The grid is the ``fig3`` entry of :mod:`repro.exp.library`, also
+runnable as ``python -m repro bench fig3``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from bench_common import emit, full_params, runtime_grid
-from repro.analysis.report import ResultTable
-from repro.workloads.locking import LockingWorkload
-
-LOCK_COUNTS = [2, 4, 8, 16, 32, 64, 128, 256, 512]
-PROTOCOLS = [
-    "DirectoryCMP",
-    "DirectoryCMP-zero",
-    "TokenCMP-dst4",
-    "TokenCMP-dst1",
-    "TokenCMP-dst1-pred",
-]
-ACQUIRES = 12
-
-
-def _factory(num_locks):
-    def make(params, seed):
-        return LockingWorkload(
-            params, num_locks=num_locks, acquires_per_proc=ACQUIRES, seed=seed
-        )
-    return make
+from bench_common import emit, engine_runner, full_params, grid_spec, run_library
+from repro.exp.library import FIG3_PROTOCOLS, LOCK_ACQUIRES, locking_grid
 
 
 def run_experiment():
-    params = full_params()
-    # High-contention points are noisy: average over perturbed runs, the
-    # paper's Alameldeen & Wood methodology (error bars).
-    grid = {
-        nl: runtime_grid(
-            params, PROTOCOLS, _factory(nl),
-            seeds=(1, 2, 3) if nl <= 8 else (1,),
-        )
-        for nl in LOCK_COUNTS
-    }
-    base = grid[512]["DirectoryCMP"]
-    table = ResultTable(
-        "Figure 3 - locking micro-benchmark, transient + persistent requests "
-        "(runtime normalized to DirectoryCMP @ 512 locks; smaller is better)",
-        ["locks"] + PROTOCOLS,
-    )
-    for nl in LOCK_COUNTS:
-        table.add(nl, *(f"{grid[nl][p] / base:.2f}" for p in PROTOCOLS))
-    return grid, table
+    result, tables = run_library("fig3")
+    return locking_grid(result, FIG3_PROTOCOLS), tables
 
 
 @pytest.mark.benchmark(group="fig3")
 def test_fig3_locking_transient(benchmark):
-    grid, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    emit("fig3_locking_transient", [table])
+    grid, tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("fig3_locking_transient", tables)
 
     # Low contention: TokenCMP outperforms DirectoryCMP (many remote-L1
     # sharing misses -> directory indirections).
@@ -83,10 +50,13 @@ def test_fig3_locking_transient(benchmark):
 @pytest.mark.benchmark(group="fig3")
 def test_fig3_filter_variant_matches_dst1(benchmark):
     """Paper: 'TokenCMP-dst1-filt performs identically to TokenCMP-dst1'."""
-    params = full_params()
-    grid = benchmark.pedantic(
-        lambda: runtime_grid(params, ["TokenCMP-dst1", "TokenCMP-dst1-filt"], _factory(64)),
-        rounds=1, iterations=1,
+    spec = grid_spec(
+        "fig3-filt", full_params(), ["TokenCMP-dst1", "TokenCMP-dst1-filt"],
+        "locking", num_locks=64, acquires_per_proc=LOCK_ACQUIRES,
     )
+    result = benchmark.pedantic(
+        lambda: engine_runner().run(spec), rounds=1, iterations=1,
+    )
+    grid = result.runtime_grid(["TokenCMP-dst1", "TokenCMP-dst1-filt"])
     ratio = grid["TokenCMP-dst1-filt"] / grid["TokenCMP-dst1"]
     assert 0.8 < ratio < 1.2

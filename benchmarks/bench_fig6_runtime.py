@@ -7,85 +7,34 @@ Paper claims reproduced (shape):
 * persistent requests are rare (< ~0.3% of L1 misses in the paper);
 * PerfectL2 bounds the improvement from below, DirectoryCMP-zero shows
   the directory-access cost.
+
+The grid is the ``fig6`` entry of :mod:`repro.exp.library`, also
+runnable as ``python -m repro bench fig6``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from bench_common import emit, full_params, results_grid
-from repro.analysis.report import ResultTable
-from repro.workloads.commercial import make_commercial
-
-PROTOCOLS = [
-    "DirectoryCMP",
-    "DirectoryCMP-zero",
-    "TokenCMP-dst4",
-    "TokenCMP-dst1",
-    "TokenCMP-dst1-pred",
-    "TokenCMP-dst1-filt",
-    "PerfectL2",
-]
-WORKLOADS = ["oltp", "apache", "specjbb"]
-PAPER_SPEEDUP = {"oltp": 0.50, "apache": 0.29, "specjbb": 0.10}
-REFS = 250
-
-
-def _factory(name):
-    def make(params, seed):
-        return make_commercial(params, name, seed=seed, refs_per_proc=REFS)
-    return make
+from bench_common import emit, run_library
+from repro.exp.library import (
+    COMMERCIAL_WORKLOADS,
+    FIG6_PROTOCOLS,
+    commercial_results,
+)
 
 
 def run_experiment():
-    params = full_params()
-    all_results = {
-        wl: results_grid(params, PROTOCOLS, _factory(wl)) for wl in WORKLOADS
-    }
-    table = ResultTable(
-        "Figure 6 - commercial workload runtime normalized to DirectoryCMP "
-        "(smaller is better)",
-        ["protocol"] + WORKLOADS,
-    )
-    for proto in PROTOCOLS:
-        cells = []
-        for wl in WORKLOADS:
-            base = all_results[wl]["DirectoryCMP"].runtime_ps
-            cells.append(f"{all_results[wl][proto].runtime_ps / base:.2f}")
-        table.add(proto, *cells)
-    speedups = ResultTable(
-        "TokenCMP-dst1 speedup over DirectoryCMP (paper: OLTP 50%, Apache 29%, "
-        "SPECjbb 10%)",
-        ["workload", "measured", "paper"],
-    )
-    for wl in WORKLOADS:
-        base = all_results[wl]["DirectoryCMP"].runtime_ps
-        tok = all_results[wl]["TokenCMP-dst1"].runtime_ps
-        speedups.add(wl, f"{base / tok - 1:+.0%}", f"+{PAPER_SPEEDUP[wl]:.0%}")
-    latency = ResultTable(
-        "L1 miss latency in ns (mean / p50 / p95) - the indirection gap",
-        ["workload", "protocol", "mean", "p50", "p95"],
-    )
-    for wl in WORKLOADS:
-        for proto in ("DirectoryCMP", "TokenCMP-dst1"):
-            summary = all_results[wl][proto].stats.summaries["l1.miss_latency_ps"]
-            latency.add(
-                wl, proto,
-                f"{summary.mean / 1000:.0f}",
-                f"{summary.percentile(50) / 1000:.0f}",
-                f"{summary.percentile(95) / 1000:.0f}",
-            )
-    return all_results, table, speedups, latency
+    result, tables = run_library("fig6")
+    return commercial_results(result, FIG6_PROTOCOLS), tables
 
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_commercial_runtime(benchmark):
-    all_results, table, speedups, latency = benchmark.pedantic(
-        run_experiment, rounds=1, iterations=1
-    )
-    emit("fig6_runtime", [table, speedups, latency])
+    all_results, tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("fig6_runtime", tables)
 
-    for wl in WORKLOADS:
+    for wl in COMMERCIAL_WORKLOADS:
         res = all_results[wl]
         base = res["DirectoryCMP"].runtime_ps
         # TokenCMP-dst1 is faster than DirectoryCMP on every workload.
@@ -95,15 +44,15 @@ def test_fig6_commercial_runtime(benchmark):
         # All TokenCMP variants perform similarly (within 15%).
         tok = [
             res[p].runtime_ps
-            for p in PROTOCOLS
+            for p in FIG6_PROTOCOLS
             if p.startswith("TokenCMP")
         ]
         assert max(tok) / min(tok) < 1.15
         # Persistent requests are rare on macro-benchmarks (paper: <0.3% of
         # misses; our synthetic streams are smaller and proportionally more
         # lock-contended, so the bound here is looser but still "rare").
-        stats = res["TokenCMP-dst1"].stats
-        assert stats.get("persistent.requests") <= 0.04 * stats.get("l1.misses")
+        dst1 = res["TokenCMP-dst1"]
+        assert dst1.get("persistent.requests") <= 0.04 * dst1.get("l1.misses")
 
     # Ordering of wins: OLTP > Apache > SPECjbb.
     def speedup(wl):

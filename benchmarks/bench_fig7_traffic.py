@@ -10,89 +10,51 @@ Paper claims reproduced (shape):
   (external responses route through the L2);
 * the dst1-filt sharer filter trims a mid-single-digit percentage of
   intra-CMP traffic without affecting runtime.
+
+The grid is the ``fig7`` entry of :mod:`repro.exp.library`, also
+runnable as ``python -m repro bench fig7``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from bench_common import emit, full_params, results_grid
-from repro.analysis.report import ResultTable, traffic_breakdown_normalized
+from bench_common import emit, run_library
+from repro.exp.library import (
+    COMMERCIAL_WORKLOADS,
+    FIG7_PROTOCOLS,
+    commercial_results,
+)
 from repro.interconnect.traffic import Scope, TrafficClass
-from repro.workloads.commercial import make_commercial
-
-PROTOCOLS = [
-    "DirectoryCMP",
-    "TokenCMP-dst4",
-    "TokenCMP-dst1",
-    "TokenCMP-dst1-pred",
-    "TokenCMP-dst1-filt",
-]
-WORKLOADS = ["oltp", "apache", "specjbb"]
-REFS = 250
-
-
-def _factory(name):
-    def make(params, seed):
-        return make_commercial(params, name, seed=seed, refs_per_proc=REFS)
-    return make
-
-
-def _traffic_table(all_results, scope, title):
-    table = ResultTable(
-        title, ["workload", "protocol", "total"] + [k.value for k in TrafficClass]
-    )
-    for wl in WORKLOADS:
-        norm = traffic_breakdown_normalized(all_results[wl], scope, "DirectoryCMP")
-        for proto in PROTOCOLS:
-            row = norm[proto]
-            table.add(
-                wl, proto, f"{sum(row.values()):.2f}",
-                *(f"{row[k]:.3f}" for k in TrafficClass),
-            )
-    return table
 
 
 def run_experiment():
-    params = full_params()
-    all_results = {
-        wl: results_grid(params, PROTOCOLS, _factory(wl)) for wl in WORKLOADS
-    }
-    t7a = _traffic_table(
-        all_results, Scope.INTER,
-        "Figure 7a - inter-CMP traffic by message class "
-        "(bytes, normalized to DirectoryCMP total)",
-    )
-    t7b = _traffic_table(
-        all_results, Scope.INTRA,
-        "Figure 7b - intra-CMP traffic by message class "
-        "(bytes, normalized to DirectoryCMP total)",
-    )
-    return all_results, t7a, t7b
+    result, tables = run_library("fig7")
+    return commercial_results(result, FIG7_PROTOCOLS), tables
 
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_traffic(benchmark):
-    all_results, t7a, t7b = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    emit("fig7_traffic", [t7a, t7b])
+    all_results, tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("fig7_traffic", tables)
 
-    for wl in WORKLOADS:
+    for wl in COMMERCIAL_WORKLOADS:
         res = all_results[wl]
-        dir_inter = res["DirectoryCMP"].meter.scope_bytes(Scope.INTER)
-        dst1_inter = res["TokenCMP-dst1"].meter.scope_bytes(Scope.INTER)
+        dir_inter = res["DirectoryCMP"].scope_bytes(Scope.INTER)
+        dst1_inter = res["TokenCMP-dst1"].scope_bytes(Scope.INTER)
         # (7a) Token inter-CMP traffic is in DirectoryCMP's league at 4
         # CMPs (the paper measured somewhat less).
         assert dst1_inter < 1.4 * dir_inter
 
         # (7b) Token protocols spend more on broadcast requests...
-        dir_b = res["DirectoryCMP"].meter.breakdown(Scope.INTRA)
-        tok_b = res["TokenCMP-dst1"].meter.breakdown(Scope.INTRA)
+        dir_b = res["DirectoryCMP"].breakdown(Scope.INTRA)
+        tok_b = res["TokenCMP-dst1"].breakdown(Scope.INTRA)
         assert tok_b[TrafficClass.REQUEST] > dir_b[TrafficClass.REQUEST]
         # ... the directory only on unblock messages (tokens need none).
         assert dir_b[TrafficClass.UNBLOCK] > 0
         assert tok_b[TrafficClass.UNBLOCK] == 0
 
         # The filter saves intra-CMP bandwidth vs unfiltered dst1.
-        filt = res["TokenCMP-dst1-filt"].meter.scope_bytes(Scope.INTRA)
-        dst1 = res["TokenCMP-dst1"].meter.scope_bytes(Scope.INTRA)
+        filt = res["TokenCMP-dst1-filt"].scope_bytes(Scope.INTRA)
+        dst1 = res["TokenCMP-dst1"].scope_bytes(Scope.INTRA)
         assert filt < dst1

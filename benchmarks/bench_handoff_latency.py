@@ -11,52 +11,33 @@ its cross-chip hand-off beats DirectoryCMP's L1 -> home L2 -> home
 memory directory (DRAM!) -> owner chip L2 -> owner L1 chain; the
 zero-cycle directory closes part of the gap, showing how much of it is
 the directory access itself.
+
+The grid is the ``handoff`` entry of :mod:`repro.exp.library`, also
+runnable as ``python -m repro bench handoff``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from bench_common import emit, full_params
-from repro.analysis.report import ResultTable, run_one
-from repro.workloads.pingpong import PingPongWorkload
-
-PROTOCOLS = ["DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst1", "TokenB"]
-ROUNDS = 24
-
-
-def _factory(proc_b):
-    def make(params, seed):
-        return PingPongWorkload(params, proc_a=0, proc_b=proc_b,
-                                rounds=ROUNDS, seed=seed)
-    return make
+from bench_common import emit, run_library
+from repro.exp.library import HANDOFF_PROTOCOLS, handoff_grid
 
 
 def run_experiment():
-    params = full_params()
-    results = {}
-    for label, proc_b in (("same chip", 1), ("cross chip", params.procs_per_chip)):
-        for proto in PROTOCOLS:
-            res = run_one(params, proto, _factory(proc_b), seed=1)
-            results[(label, proto)] = res.runtime_ps / ROUNDS / 1000.0  # ns/round
-    table = ResultTable(
-        "Sharing-miss hand-off: ns per ping-pong round trip (lower is better)",
-        ["pair"] + PROTOCOLS,
-    )
-    for label in ("same chip", "cross chip"):
-        table.add(label, *(f"{results[(label, p)]:.0f}" for p in PROTOCOLS))
-    return results, table
+    result, tables = run_library("handoff")
+    return handoff_grid(result), tables
 
 
 @pytest.mark.benchmark(group="handoff")
 def test_handoff_latency(benchmark):
-    results, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    emit("handoff_latency", [table])
+    results, tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("handoff_latency", tables)
 
     # Cross-chip: token's direct broadcast beats the directory chain.
     assert results[("cross chip", "TokenCMP-dst1")] < results[("cross chip", "DirectoryCMP")]
     # The zero-cycle directory recovers part (not all) of the indirection.
     assert results[("cross chip", "DirectoryCMP-zero")] < results[("cross chip", "DirectoryCMP")]
     # Same-chip hand-offs are much cheaper than cross-chip for everyone.
-    for proto in PROTOCOLS:
+    for proto in HANDOFF_PROTOCOLS:
         assert results[("same chip", proto)] < results[("cross chip", proto)]

@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import emit
+from bench_common import CACHE_DIR, emit, engine_jobs, engine_use_cache
 from repro.faults.battery import run_robustness_battery
 
 
 def run_experiment():
-    return run_robustness_battery(scale=1.0, seed=1)
+    return run_robustness_battery(
+        scale=1.0, seed=1,
+        jobs=engine_jobs(), cache=engine_use_cache(), cache_dir=CACHE_DIR,
+    )
 
 
 @pytest.mark.benchmark(group="robustness")

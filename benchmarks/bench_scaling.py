@@ -5,65 +5,35 @@ worse (unless multicast with destination set predictions is employed
 [24])."  This bench quantifies exactly that: inter-CMP bytes normalized
 to DirectoryCMP as the machine grows from 2 to 8 CMPs, with and without
 the destination-set-prediction multicast extension.
+
+The grid is the ``scaling`` entry of :mod:`repro.exp.library`, also
+runnable as ``python -m repro bench scaling``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from bench_common import emit
-from repro.analysis.report import ResultTable, run_one
-from repro.common.params import SystemParams
+from bench_common import emit, run_library
+from repro.exp.library import CHIP_COUNTS, scaling_grid
 from repro.interconnect.traffic import Scope
-from repro.workloads.commercial import make_commercial
-
-PROTOCOLS = ["DirectoryCMP", "TokenCMP-dst1", "TokenCMP-dst1-mcast"]
-CHIP_COUNTS = [2, 4, 8]
-REFS = 120
-
-
-def _params(chips: int) -> SystemParams:
-    return SystemParams(num_chips=chips, tokens_per_block=128 if chips > 4 else 64)
-
-
-def _factory(params, seed):
-    return make_commercial(params, "oltp", seed=seed, refs_per_proc=REFS)
 
 
 def run_experiment():
-    grid = {}
-    for chips in CHIP_COUNTS:
-        params = _params(chips)
-        grid[chips] = {
-            proto: run_one(params, proto, _factory, seed=1) for proto in PROTOCOLS
-        }
-    table = ResultTable(
-        "Scaling - inter-CMP traffic normalized to DirectoryCMP (OLTP) "
-        "and runtime normalized to DirectoryCMP, by CMP count",
-        ["CMPs"] + [f"{p} traffic" for p in PROTOCOLS[1:]]
-        + [f"{p} runtime" for p in PROTOCOLS[1:]],
-    )
-    for chips in CHIP_COUNTS:
-        res = grid[chips]
-        base_b = res["DirectoryCMP"].meter.scope_bytes(Scope.INTER)
-        base_t = res["DirectoryCMP"].runtime_ps
-        cells = [f"{res[p].meter.scope_bytes(Scope.INTER) / base_b:.2f}"
-                 for p in PROTOCOLS[1:]]
-        cells += [f"{res[p].runtime_ps / base_t:.2f}" for p in PROTOCOLS[1:]]
-        table.add(chips, *cells)
-    return grid, table
+    result, tables = run_library("scaling")
+    return scaling_grid(result), tables
 
 
 @pytest.mark.benchmark(group="scaling")
 def test_scaling_traffic(benchmark):
-    grid, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    emit("scaling_traffic", [table])
+    grid, tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("scaling_traffic", tables)
 
     def rel_traffic(chips, proto):
         res = grid[chips]
         return (
-            res[proto].meter.scope_bytes(Scope.INTER)
-            / res["DirectoryCMP"].meter.scope_bytes(Scope.INTER)
+            res[proto].scope_bytes(Scope.INTER)
+            / res["DirectoryCMP"].scope_bytes(Scope.INTER)
         )
 
     # Broadcast token traffic grows with CMP count relative to the

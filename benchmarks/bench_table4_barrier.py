@@ -13,70 +13,30 @@ Paper reference values (work = 3000 ns fixed | 3000 +- U(1000) ns):
 
 Shape reproduced: arb0 is clearly the worst; dst4 is worse than dst1;
 dst1/dst1-pred/dst1-filt stay close to DirectoryCMP.
+
+The grid is the ``table4`` entry of :mod:`repro.exp.library`, also
+runnable as ``python -m repro bench table4``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from bench_common import emit, full_params, runtime_grid
-from repro.analysis.report import ResultTable
-from repro.workloads.barrier import BarrierWorkload
-
-PROTOCOLS = [
-    "TokenCMP-arb0",
-    "TokenCMP-dst0",
-    "DirectoryCMP",
-    "DirectoryCMP-zero",
-    "TokenCMP-dst4",
-    "TokenCMP-dst1",
-    "TokenCMP-dst1-pred",
-    "TokenCMP-dst1-filt",
-]
-PAPER = {
-    "TokenCMP-arb0": (1.40, 1.29),
-    "TokenCMP-dst0": (0.94, 0.91),
-    "DirectoryCMP": (1.00, 1.00),
-    "DirectoryCMP-zero": (0.95, 0.93),
-    "TokenCMP-dst4": (1.15, 1.01),
-    "TokenCMP-dst1": (0.99, 0.95),
-    "TokenCMP-dst1-pred": (0.96, 0.93),
-    "TokenCMP-dst1-filt": (0.99, 0.95),
-}
-PHASES = 16
-
-
-def _factory(jitter_ns):
-    def make(params, seed):
-        return BarrierWorkload(
-            params, phases=PHASES, work_ns=3000.0, work_jitter_ns=jitter_ns, seed=seed
-        )
-    return make
+from bench_common import emit, run_library
+from repro.exp.library import TABLE4_PROTOCOLS
 
 
 def run_experiment():
-    params = full_params()
-    fixed = runtime_grid(params, PROTOCOLS, _factory(0.0))
-    jitter = runtime_grid(params, PROTOCOLS, _factory(1000.0))
-    table = ResultTable(
-        "Table 4 - barrier micro-benchmark runtime, normalized to DirectoryCMP",
-        ["protocol", "3000ns fixed", "paper", "3000ns +-U(1000)", "paper"],
-    )
-    for proto in PROTOCOLS:
-        table.add(
-            proto,
-            f"{fixed[proto] / fixed['DirectoryCMP']:.2f}",
-            f"{PAPER[proto][0]:.2f}",
-            f"{jitter[proto] / jitter['DirectoryCMP']:.2f}",
-            f"{PAPER[proto][1]:.2f}",
-        )
-    return fixed, jitter, table
+    result, tables = run_library("table4")
+    fixed = result.runtime_grid(TABLE4_PROTOCOLS, label="fixed")
+    jitter = result.runtime_grid(TABLE4_PROTOCOLS, label="jitter")
+    return fixed, jitter, tables
 
 
 @pytest.mark.benchmark(group="table4")
 def test_table4_barrier(benchmark):
-    fixed, jitter, table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    emit("table4_barrier", [table])
+    fixed, jitter, tables = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("table4_barrier", tables)
 
     # The two highlighted-as-bad variants are worse than their partners.
     assert fixed["TokenCMP-arb0"] > fixed["TokenCMP-dst0"]

@@ -2,11 +2,18 @@
 
 Commands:
 
-* ``list``    — show the available protocols and workloads
+* ``list``    — show the available protocols, workloads and experiments
 * ``run``     — run one workload on one protocol, print stats
 * ``sweep``   — run a workload across all protocols, print normalized runtimes
+* ``bench``   — run a named paper experiment through the engine
 * ``verify``  — model-check the protocol models (Section 5)
 * ``faults``  — run the robustness battery under an adversarial network
+* ``report``  — run the experiment battery, write markdown
+
+``run``/``sweep``/``bench``/``faults``/``report`` all execute through the
+:mod:`repro.exp` engine: ``--jobs N`` fans cells out across processes,
+and results are replayed from the content-addressed cache unless
+``--no-cache`` is given.  ``--json`` emits structured CellResult records.
 """
 
 from __future__ import annotations
@@ -15,78 +22,119 @@ import argparse
 import sys
 
 from repro.common.params import SystemParams
+from repro.exp.runner import Runner, run_cell
+from repro.exp.spec import Cell
 from repro.interconnect.traffic import Scope
 from repro.system.config import PROTOCOLS
-from repro.system.machine import Machine
-
-WORKLOADS = ["locking", "barrier", "counter", "oltp", "apache", "specjbb"]
+from repro.workloads import REGISTRY, workload_entry
 
 
-def _build_workload(name: str, params: SystemParams, seed: int, args):
-    if name == "locking":
-        from repro.workloads.locking import LockingWorkload
+def _cell_from_args(args, protocol: str, check_invariants: bool = False) -> Cell:
+    params = SystemParams(num_chips=args.chips, procs_per_chip=args.procs)
+    entry = workload_entry(args.workload)
+    return Cell(
+        protocol=protocol,
+        workload=entry.name,
+        workload_kwargs=entry.cli_kwargs(args),
+        seed=args.seed,
+        params=params,
+        check_invariants=check_invariants,
+    )
 
-        return LockingWorkload(
-            params, num_locks=args.locks, acquires_per_proc=args.ops, seed=seed
-        )
-    if name == "barrier":
-        from repro.workloads.barrier import BarrierWorkload
 
-        return BarrierWorkload(params, phases=args.ops, seed=seed)
-    if name == "counter":
-        from repro.workloads.sharing import CounterWorkload
-
-        return CounterWorkload(params, increments=args.ops, seed=seed)
-    from repro.workloads.commercial import make_commercial
-
-    return make_commercial(params, name, seed=seed, refs_per_proc=args.ops * 10)
+def _runner(args, progress=None) -> Runner:
+    return Runner(
+        jobs=getattr(args, "jobs", 1),
+        cache=not getattr(args, "no_cache", False),
+        progress=progress,
+    )
 
 
 def cmd_list(_args) -> int:
     print("protocols:")
     for name, cfg in PROTOCOLS.items():
         print(f"  {name:22s} family={cfg.family}")
-    print("workloads:", ", ".join(WORKLOADS))
+    print("workloads:")
+    for name, entry in REGISTRY.items():
+        print(f"  {name:22s} {entry.description}")
+    from repro.exp.library import EXPERIMENTS
+
+    print("experiments (python -m repro bench <id>):")
+    for exp_id, exp in EXPERIMENTS.items():
+        print(f"  {exp_id:22s} {exp.title}")
     return 0
 
 
 def cmd_run(args) -> int:
-    params = SystemParams(num_chips=args.chips, procs_per_chip=args.procs)
-    machine = Machine(params, args.protocol, seed=args.seed)
-    workload = _build_workload(args.workload, params, args.seed, args)
-    result = machine.run(workload)
-    if args.protocol.startswith("Token"):
-        machine.check_token_invariants()
-    stats = result.stats
+    result = run_cell(_cell_from_args(args, args.protocol, check_invariants=True))
+    if args.json:
+        print(result.to_json())
+        return 0
     print(f"protocol   {args.protocol}")
     print(f"workload   {args.workload}")
     print(f"runtime    {result.runtime_ns:.1f} ns")
-    print(f"hits       {stats.get('l1.hits')}")
-    print(f"misses     {stats.get('l1.misses')}")
-    if stats.summaries["l1.miss_latency_ps"].count:
-        print(f"miss lat   {stats.summaries['l1.miss_latency_ps'].mean / 1000:.1f} ns avg")
-    print(f"persistent {stats.get('persistent.requests')}")
-    print(f"intra      {result.traffic_bytes(Scope.INTRA)} bytes")
-    print(f"inter      {result.traffic_bytes(Scope.INTER)} bytes")
+    print(f"hits       {result.get('l1.hits')}")
+    print(f"misses     {result.get('l1.misses')}")
+    miss_lat = result.summary("l1.miss_latency_ps")
+    if miss_lat["count"]:
+        print(f"miss lat   {miss_lat['mean'] / 1000:.1f} ns avg")
+    print(f"persistent {result.get('persistent.requests')}")
+    print(f"intra      {result.scope_bytes(Scope.INTRA)} bytes")
+    print(f"inter      {result.scope_bytes(Scope.INTER)} bytes")
     return 0
 
 
 def cmd_sweep(args) -> int:
     from repro.common.errors import ConfigError
+    from repro.system.machine import Machine
 
     params = SystemParams(num_chips=args.chips, procs_per_chip=args.procs)
-    runtimes = {}
+    cells = []
     for name in PROTOCOLS:
         try:
-            machine = Machine(params, name, seed=args.seed)
+            Machine(params, name, seed=args.seed)
         except ConfigError:
             continue  # e.g. SnoopingSCMP on a multi-chip machine
-        workload = _build_workload(args.workload, params, args.seed, args)
-        runtimes[name] = machine.run(workload).runtime_ps
+        cells.append(_cell_from_args(args, name))
+    runner = _runner(args)
+    result = runner.run_cells(cells, name=f"sweep-{args.workload}")
+    if args.json:
+        print(result.to_json())
+        return 0
+    runtimes = {res.protocol: res.runtime_ps for res in result}
     base = runtimes.get("DirectoryCMP") or next(iter(runtimes.values()))
     print(f"{args.workload}: runtime normalized to DirectoryCMP")
     for name, runtime in sorted(runtimes.items(), key=lambda kv: kv[1]):
         print(f"  {name:22s} {runtime / base:6.2f}")
+    if result.cache_hits:
+        print(f"  ({result.cache_hits}/{len(result)} cells from cache)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.exp.library import EXPERIMENTS
+
+    if not args.experiment:
+        print("experiments:")
+        for exp_id, exp in EXPERIMENTS.items():
+            print(f"  {exp_id:12s} {exp.title}")
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    exp = EXPERIMENTS[args.experiment]
+    runner = _runner(args, progress=lambda msg: print(f"... {msg}"))
+    result = runner.run(exp.build())
+    if args.json:
+        print(result.to_json())
+        return 0
+    for table in exp.render(result):
+        print()
+        print(table.render())
+    print()
+    print(f"{len(result)} cells, {result.cache_hits} from cache "
+          f"({result.hit_rate:.0%} hit rate)")
     return 0
 
 
@@ -119,6 +167,7 @@ def cmd_faults(args) -> int:
     rates = tuple(float(r) for r in args.rates.split(","))
     write_battery(
         args.out, rates=rates, scale=args.scale, seed=args.seed,
+        jobs=args.jobs, cache=not args.no_cache,
         progress=lambda msg: print(f"... {msg}"),
     )
     with open(args.out) as fh:
@@ -131,29 +180,48 @@ def cmd_report(args) -> int:
     from repro.analysis.battery import write_report
 
     write_report(args.out, scale=args.scale, seed=args.seed,
+                 jobs=args.jobs, cache=not args.no_cache,
                  progress=lambda msg: print(f"... {msg}"))
     print(f"wrote {args.out}")
     return 0
+
+
+def _add_engine_flags(parser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment engine")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed result cache")
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="show protocols and workloads")
+    sub.add_parser("list", help="show protocols, workloads and experiments")
 
     for name in ("run", "sweep"):
         p = sub.add_parser(name, help=f"{name} a workload")
         if name == "run":
             p.add_argument("protocol", choices=sorted(PROTOCOLS))
-        p.add_argument("workload", choices=WORKLOADS)
+        p.add_argument("workload", choices=sorted(REGISTRY))
         p.add_argument("--chips", type=int, default=4)
         p.add_argument("--procs", type=int, default=4)
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--ops", type=int, default=16,
-                       help="acquires / phases / increments (x10 refs for "
-                            "commercial workloads)")
+                       help="acquires / phases / increments / rounds (x10 "
+                            "refs for commercial workloads)")
         p.add_argument("--locks", type=int, default=32)
+        p.add_argument("--json", action="store_true",
+                       help="emit structured CellResult records")
+        if name == "sweep":
+            _add_engine_flags(p)
+
+    b = sub.add_parser("bench", help="run a named paper experiment")
+    b.add_argument("experiment", nargs="?", default="",
+                   help="experiment id (omit to list)")
+    b.add_argument("--json", action="store_true",
+                   help="emit structured CellResult records")
+    _add_engine_flags(b)
 
     v = sub.add_parser("verify", help="model-check the protocol models")
     v.add_argument("--fast", action="store_true")
@@ -168,18 +236,21 @@ def main(argv=None) -> int:
     f.add_argument("--scale", type=float, default=1.0,
                    help="workload size multiplier (0.5 = quick look)")
     f.add_argument("--seed", type=int, default=1)
+    _add_engine_flags(f)
 
     r = sub.add_parser("report", help="run the experiment battery, write markdown")
     r.add_argument("--out", default="REPORT.md")
     r.add_argument("--scale", type=float, default=1.0,
                    help="workload size multiplier (0.5 = quick look)")
     r.add_argument("--seed", type=int, default=1)
+    _add_engine_flags(r)
 
     args = parser.parse_args(argv)
     return {
         "list": cmd_list,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "bench": cmd_bench,
         "verify": cmd_verify,
         "faults": cmd_faults,
         "report": cmd_report,

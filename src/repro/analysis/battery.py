@@ -1,10 +1,14 @@
 """One-shot experiment battery: everything the paper reports, in one call.
 
-``run_battery`` executes scaled-down versions of every experiment (the
-same code paths the benchmarks use) and returns the rendered tables;
-``python -m repro report`` writes them to a markdown file.  Sizes are
-chosen for minutes, not hours — the pytest benchmarks remain the
-reference harness.
+``run_battery`` executes scaled-down versions of every experiment through
+the :mod:`repro.exp` engine — the same code path the benchmarks use — and
+returns the rendered tables; ``python -m repro report`` writes them to a
+markdown file.  Sizes are chosen for minutes, not hours — the pytest
+benchmarks remain the reference harness.
+
+Cells run through a :class:`repro.exp.Runner`, so ``jobs`` fans the grid
+out across processes and repeated invocations replay from the
+content-addressed result cache (identical results either way).
 """
 
 from __future__ import annotations
@@ -12,26 +16,29 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.analysis.report import ResultTable, run_one
+from repro.analysis.report import ResultTable
 from repro.common.params import SystemParams
+from repro.exp.runner import Runner
+from repro.exp.spec import Cell, ExperimentSpec
 from repro.interconnect.traffic import Scope
-from repro.workloads.barrier import BarrierWorkload
-from repro.workloads.commercial import make_commercial
-from repro.workloads.locking import LockingWorkload
-from repro.workloads.pingpong import PingPongWorkload
 
 
 def run_battery(
     scale: float = 1.0,
     seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> List[ResultTable]:
     """Run the whole experiment battery; returns rendered tables.
 
-    ``scale`` multiplies workload sizes (0.5 = half-size quick look).
+    ``scale`` multiplies workload sizes (0.5 = half-size quick look);
+    ``jobs`` / ``cache`` are forwarded to the experiment engine.
     """
     say = progress or (lambda msg: None)
     params = SystemParams()
+    runner = Runner(jobs=jobs, cache=cache, cache_dir=cache_dir, progress=say)
     tables: List[ResultTable] = []
 
     def n(base: int) -> int:
@@ -44,16 +51,19 @@ def run_battery(
         "TokenCMP-arb0", "TokenCMP-dst0", "DirectoryCMP", "DirectoryCMP-zero",
         "TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred",
     ]
-    runtimes: Dict = {}
-    for locks in lock_counts:
-        for proto in protocols:
-            res = run_one(
-                params, proto,
-                lambda p, s, locks=locks: LockingWorkload(
-                    p, num_locks=locks, acquires_per_proc=n(12), seed=s),
-                seed=seed,
-            )
-            runtimes[(locks, proto)] = res.runtime_ps
+    lock_spec = ExperimentSpec("report-locking", tuple(
+        Cell(protocol=proto, workload="locking",
+             workload_kwargs={"num_locks": locks, "acquires_per_proc": n(12)},
+             seed=seed, params=params, label=str(locks))
+        for locks in lock_counts
+        for proto in protocols
+    ))
+    lock_res = runner.run(lock_spec)
+    runtimes: Dict = {
+        (locks, proto): lock_res.cell(protocol=proto, label=str(locks)).runtime_ps
+        for locks in lock_counts
+        for proto in protocols
+    }
     base = runtimes[(512, "DirectoryCMP")]
     t = ResultTable(
         "Locking micro-benchmark (Figures 2-3): runtime normalized to "
@@ -65,14 +75,11 @@ def run_battery(
 
     # ---- Table 4: barrier ---------------------------------------------
     say("barrier (Table 4)")
-    barrier: Dict = {}
-    for proto in protocols:
-        res = run_one(
-            params, proto,
-            lambda p, s: BarrierWorkload(p, phases=n(10), seed=s),
-            seed=seed,
-        )
-        barrier[proto] = res.runtime_ps
+    barrier_res = runner.run(ExperimentSpec.grid(
+        "report-barrier", protocols, ("barrier", {"phases": n(10)}),
+        seeds=(seed,), params=params,
+    ))
+    barrier = barrier_res.runtime_grid(protocols)
     t = ResultTable(
         "Barrier micro-benchmark (Table 4): runtime normalized to DirectoryCMP",
         ["protocol", "normalized"],
@@ -84,44 +91,43 @@ def run_battery(
     # ---- Figure 6 + 7: commercial workloads ---------------------------
     say("commercial workloads (Figures 6-7)")
     commercial_protos = ["DirectoryCMP", "TokenCMP-dst1", "PerfectL2"]
+    commercial_res = runner.run(ExperimentSpec.grid(
+        "report-commercial", commercial_protos,
+        [(wl, {"refs_per_proc": n(200)}) for wl in ("oltp", "apache", "specjbb")],
+        seeds=(seed,), params=params,
+    ))
     t6 = ResultTable(
         "Commercial workloads (Figure 6): runtime normalized to DirectoryCMP",
         ["workload"] + commercial_protos + ["dst1 speedup", "inter-CMP bytes (rel)"],
     )
     for wl_name in ("oltp", "apache", "specjbb"):
-        res = {
-            proto: run_one(
-                params, proto,
-                lambda p, s, w=wl_name: make_commercial(p, w, seed=s,
-                                                        refs_per_proc=n(200)),
-                seed=seed,
-            )
-            for proto in commercial_protos
-        }
+        res = commercial_res.by_protocol(commercial_protos, workload=wl_name)
         base_rt = res["DirectoryCMP"].runtime_ps
-        base_traffic = res["DirectoryCMP"].meter.scope_bytes(Scope.INTER)
+        base_traffic = res["DirectoryCMP"].scope_bytes(Scope.INTER)
         t6.add(
             wl_name,
             *(f"{res[p].runtime_ps / base_rt:.2f}" for p in commercial_protos),
             f"{base_rt / res['TokenCMP-dst1'].runtime_ps - 1:+.0%}",
-            f"{res['TokenCMP-dst1'].meter.scope_bytes(Scope.INTER) / base_traffic:.2f}",
+            f"{res['TokenCMP-dst1'].scope_bytes(Scope.INTER) / base_traffic:.2f}",
         )
     tables.append(t6)
 
     # ---- Hand-off latency ----------------------------------------------
     say("hand-off latency (mechanism)")
+    rounds = n(16)
+    handoff_protos = ("DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst1")
+    handoff_res = runner.run(ExperimentSpec.grid(
+        "report-handoff", handoff_protos,
+        ("pingpong", {"proc_a": 0, "proc_b": params.procs_per_chip,
+                      "rounds": rounds}),
+        seeds=(seed,), params=params,
+    ))
     t8 = ResultTable(
         "Cross-chip sharing-miss hand-off (ns per ping-pong round)",
         ["protocol", "ns/round"],
     )
-    for proto in ("DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst1"):
-        rounds = n(16)
-        res = run_one(
-            params, proto,
-            lambda p, s, r=rounds: PingPongWorkload(
-                p, proc_a=0, proc_b=p.procs_per_chip, rounds=r, seed=s),
-            seed=seed,
-        )
+    for proto in handoff_protos:
+        res = handoff_res.cell(protocol=proto)
         t8.add(proto, f"{res.runtime_ps / rounds / 1000:.0f}")
     tables.append(t8)
 
@@ -148,10 +154,13 @@ def run_battery(
 
 
 def write_report(path: str, scale: float = 1.0, seed: int = 1,
-                 progress: Optional[Callable[[str], None]] = None) -> str:
+                 progress: Optional[Callable[[str], None]] = None,
+                 jobs: int = 1, cache: bool = True,
+                 cache_dir: Optional[str] = None) -> str:
     """Run the battery and write a markdown report; returns the text."""
     start = time.time()
-    tables = run_battery(scale=scale, seed=seed, progress=progress)
+    tables = run_battery(scale=scale, seed=seed, progress=progress,
+                         jobs=jobs, cache=cache, cache_dir=cache_dir)
     parts = [
         "# TokenCMP reproduction report",
         "",

@@ -1,14 +1,17 @@
-"""Experiment harness helpers: run protocol x workload grids, normalize,
-and print paper-style tables.
+"""Experiment harness helpers: paper-style tables plus legacy run helpers.
 
-Every benchmark in ``benchmarks/`` builds on :func:`run_grid` /
-:class:`ResultTable` so its output shows measured values side by side with
-the paper's reference values (where the paper gives them numerically).
+:class:`ResultTable` renders measured values side by side with the
+paper's reference values.  The ``run_one`` / ``mean_runtime`` helpers are
+**deprecated** shims over :func:`repro.exp.run_cell` — new code should
+describe runs declaratively (:class:`repro.exp.Cell`) and execute them
+through :class:`repro.exp.Runner`, which adds multiprocessing fan-out and
+content-addressed result caching for free.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.params import SystemParams
@@ -26,24 +29,27 @@ def run_one(
     watchdog_budget_ns: Optional[float] = None,
     invariant_check_every: Optional[int] = None,
 ) -> RunResult:
-    """Build a fresh machine + workload and run to completion.
+    """Deprecated: build and run one cell, returning the raw RunResult.
 
-    ``faults`` (a :class:`repro.faults.injector.FaultConfig`) wraps the
-    interconnect in the adversarial decorator; ``watchdog_budget_ns`` arms
-    the liveness watchdog; ``invariant_check_every`` turns on continuous
-    token-conservation checking (token protocols only).
+    Delegates to :func:`repro.exp.run_cell` (the single
+    machine-construction path).  Callable factories cannot be cached or
+    parallelized — prefer ``run_cell`` with a registry workload name.
     """
-    machine = Machine(params, protocol, seed=seed, faults=faults)
-    if watchdog_budget_ns is not None:
-        from repro.faults.watchdog import LivenessWatchdog
+    warnings.warn(
+        "run_one is deprecated; use repro.exp.run_cell with a declarative "
+        "Cell (registry workload name) to get caching and parallelism",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro.exp.runner import run_cell
+    from repro.exp.spec import Cell
 
-        LivenessWatchdog(machine, budget_ns=watchdog_budget_ns)
-    if invariant_check_every is not None:
-        from repro.faults.watchdog import InvariantMonitor
-
-        InvariantMonitor(machine, invariant_check_every)
-    workload = workload_factory(params, seed)
-    return machine.run(workload, max_events=max_events)
+    result = run_cell(Cell(
+        protocol=protocol, workload=workload_factory, seed=seed,
+        params=params, max_events=max_events, faults=faults,
+        watchdog_budget_ns=watchdog_budget_ns,
+        invariant_check_every=invariant_check_every,
+    ))
+    return result.raw
 
 
 def mean_runtime(
@@ -53,10 +59,21 @@ def mean_runtime(
     seeds: Sequence[int] = (1,),
     max_events: Optional[int] = 80_000_000,
 ) -> float:
-    """Mean runtime (ps) over seeds — the paper's perturbed-runs analogue."""
-    total = 0.0
-    for seed in seeds:
-        total += run_one(params, protocol, workload_factory, seed, max_events).runtime_ps
+    """Deprecated: mean runtime (ps) over seeds via legacy callables.
+
+    Use :meth:`repro.exp.ExperimentResult.mean_runtime` instead.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        total = 0.0
+        for seed in seeds:
+            total += run_one(
+                params, protocol, workload_factory, seed, max_events
+            ).runtime_ps
+    warnings.warn(
+        "mean_runtime is deprecated; use repro.exp.Runner and "
+        "ExperimentResult.mean_runtime", DeprecationWarning, stacklevel=2,
+    )
     return total / len(seeds)
 
 

@@ -1,0 +1,34 @@
+"""``repro.exp`` — the declarative experiment-execution engine.
+
+* :class:`~repro.exp.spec.Cell` / :class:`~repro.exp.spec.ExperimentSpec`
+  describe runs as data (protocol x workload x seed x params x faults);
+* :func:`~repro.exp.runner.run_cell` is the single machine-construction
+  path every evaluation entry point funnels through;
+* :class:`~repro.exp.runner.Runner` executes specs across a process pool
+  with a content-addressed on-disk result cache
+  (:class:`~repro.exp.cache.ResultCache`);
+* :mod:`~repro.exp.library` holds the named paper experiments.
+
+Determinism guarantee: each cell is an independent simulation seeded only
+from its own description, so ``Runner(jobs=N)`` and serial execution
+produce byte-identical :class:`~repro.exp.result.CellResult` JSON, and a
+cache hit replays exactly what a recompute would produce.
+"""
+
+from repro.exp.cache import CACHE_SCHEMA, ResultCache, cell_key, default_cache_dir
+from repro.exp.result import CellResult
+from repro.exp.runner import ExperimentResult, Runner, run_cell
+from repro.exp.spec import Cell, ExperimentSpec
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "Cell",
+    "CellResult",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "Runner",
+    "cell_key",
+    "default_cache_dir",
+    "run_cell",
+]

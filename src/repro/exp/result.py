@@ -1,0 +1,127 @@
+"""Structured per-cell results.
+
+A :class:`CellResult` is the serializable record one cell run produces:
+runtime, every stats counter, per-(scope, class) traffic bytes and the
+summary streams (count/total/min/max plus sampled percentiles).  Its JSON
+form is canonical — sorted keys, compact separators — so byte-identical
+output is a meaningful determinism check: a parallel run, a serial run
+and a cache hit of the same cell all render the same bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional, Union
+
+from repro.common.types import to_ns
+from repro.interconnect.traffic import Scope, TrafficClass
+
+PERCENTILES = (50, 95, 99)
+
+
+@dataclasses.dataclass
+class CellResult:
+    """Outcome of one experiment cell."""
+
+    protocol: str
+    workload: str
+    seed: int
+    runtime_ps: int
+    counters: Dict[str, int]
+    traffic: Dict[str, Dict[str, int]]  # scope value -> class value -> bytes
+    summaries: Dict[str, Dict[str, float]]
+    label: str = ""
+    cache_key: Optional[str] = None
+    # Bookkeeping, not part of the record (or of equality):
+    from_cache: bool = dataclasses.field(default=False, compare=False)
+    # The in-process RunResult (machine attached); only populated for
+    # serial in-process execution — never survives a worker process or
+    # the cache.
+    raw: Optional[object] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def runtime_ns(self) -> float:
+        return to_ns(self.runtime_ps)
+
+    def get(self, counter: str) -> int:
+        return self.counters.get(counter, 0)
+
+    def scope_bytes(self, scope: Union[Scope, str]) -> int:
+        scope = scope.value if isinstance(scope, Scope) else scope
+        return sum(self.traffic.get(scope, {}).values())
+
+    def breakdown(self, scope: Union[Scope, str]) -> Dict[TrafficClass, int]:
+        """Bytes per traffic class on one network, zero entries included."""
+        scope = scope.value if isinstance(scope, Scope) else scope
+        per_class = self.traffic.get(scope, {})
+        return {k: per_class.get(k.value, 0) for k in TrafficClass}
+
+    def summary(self, name: str) -> Dict[str, float]:
+        return self.summaries.get(name, {"count": 0, "total": 0.0})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_run(cls, run_result, cell, cache_key: Optional[str] = None
+                 ) -> "CellResult":
+        """Convert a :class:`repro.system.machine.RunResult`."""
+        traffic: Dict[str, Dict[str, int]] = {}
+        for (scope, klass), nbytes in run_result.meter.bytes.items():
+            traffic.setdefault(scope.value, {})[klass.value] = nbytes
+        summaries = {}
+        for name, s in run_result.stats.summaries.items():
+            if not s.count:
+                continue
+            summaries[name] = {
+                "count": s.count,
+                "total": s.total,
+                "mean": s.mean,
+                "min": s.min,
+                "max": s.max,
+                **{f"p{q}": s.percentile(q) for q in PERCENTILES},
+            }
+        return cls(
+            protocol=cell.protocol_name,
+            workload=cell.workload_name,
+            seed=cell.seed,
+            runtime_ps=run_result.runtime_ps,
+            counters=dict(run_result.stats.counters),
+            traffic=traffic,
+            summaries=summaries,
+            label=cell.label,
+            cache_key=cache_key,
+            raw=run_result,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        # Built explicitly (not dataclasses.asdict) so the record never
+        # recurses into ``raw`` — the RunResult drags the whole Machine
+        # (simulator, generators, fault proxies) behind it.
+        return {
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "seed": self.seed,
+            "runtime_ps": self.runtime_ps,
+            "counters": dict(self.counters),
+            "traffic": {s: dict(c) for s, c in self.traffic.items()},
+            "summaries": {n: dict(v) for n, v in self.summaries.items()},
+            "label": self.label,
+            "cache_key": self.cache_key,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — the determinism contract's unit of comparison."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CellResult":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "CellResult":
+        return cls.from_dict(json.loads(text))

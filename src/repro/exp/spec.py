@@ -1,0 +1,162 @@
+"""Declarative experiment specifications.
+
+A :class:`Cell` names everything one simulation run depends on — protocol
+config, workload (by registry name + kwargs), system parameters, seed,
+fault config and checker settings — *as data*, so a cell can be
+
+* executed anywhere (pickled to a worker process),
+* hashed for the content-addressed result cache, and
+* compared: two equal cells are guaranteed to produce equal results,
+  because every run is a deterministic function of its cell.
+
+An :class:`ExperimentSpec` is an ordered tuple of cells; the grid helper
+covers the common ``protocol x workload x seed`` sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.common.params import SystemParams
+from repro.system.config import ProtocolConfig, protocol as lookup_protocol
+
+DEFAULT_MAX_EVENTS = 80_000_000
+
+
+def _freeze_kwargs(kwargs) -> Tuple[Tuple[str, object], ...]:
+    if isinstance(kwargs, dict):
+        return tuple(sorted(kwargs.items()))
+    return tuple(kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One independent simulation run, described declaratively.
+
+    ``workload`` is normally a :data:`repro.workloads.REGISTRY` name; a
+    bare factory callable ``(params, seed) -> Workload`` is accepted for
+    legacy callers but makes the cell uncacheable and unparallelizable
+    (it cannot be hashed or pickled).
+    """
+
+    protocol: Union[str, ProtocolConfig]
+    workload: Union[str, Callable]
+    workload_kwargs: Tuple[Tuple[str, object], ...] = ()
+    seed: int = 1
+    params: SystemParams = dataclasses.field(default_factory=SystemParams)
+    max_events: Optional[int] = DEFAULT_MAX_EVENTS
+    faults: Optional[object] = None  # repro.faults.injector.FaultConfig
+    watchdog_budget_ns: Optional[float] = None
+    watchdog_check_every: Optional[int] = None
+    invariant_check_every: Optional[int] = None
+    check_invariants: bool = False
+    # Free-form grouping tag (e.g. a lock count or chip count); not part
+    # of the cache key because it cannot affect the simulation.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.protocol, str):
+            object.__setattr__(self, "protocol", lookup_protocol(self.protocol))
+        object.__setattr__(
+            self, "workload_kwargs", _freeze_kwargs(self.workload_kwargs)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def kwargs(self) -> Dict[str, object]:
+        return dict(self.workload_kwargs)
+
+    @property
+    def protocol_name(self) -> str:
+        return self.protocol.name
+
+    @property
+    def workload_name(self) -> str:
+        if isinstance(self.workload, str):
+            return self.workload
+        return getattr(self.workload, "__name__", "<factory>")
+
+    @property
+    def cacheable(self) -> bool:
+        """Only declaratively-described workloads can be hashed/pickled."""
+        return isinstance(self.workload, str)
+
+    # ------------------------------------------------------------------
+    def key_material(self) -> Optional[dict]:
+        """Everything the simulation outcome depends on, JSON-ready.
+
+        Returns ``None`` for uncacheable (callable-workload) cells.  The
+        protocol is expanded to its full config so *any* change to a
+        code-relevant knob (e.g. ``max_transient``) changes the key.
+        """
+        if not self.cacheable:
+            return None
+        return {
+            "protocol": dataclasses.asdict(self.protocol),
+            "workload": self.workload,
+            "workload_kwargs": dict(self.workload_kwargs),
+            "params": dataclasses.asdict(self.params),
+            "seed": self.seed,
+            "max_events": self.max_events,
+            "faults": dataclasses.asdict(self.faults) if self.faults else None,
+            "watchdog_budget_ns": self.watchdog_budget_ns,
+            "watchdog_check_every": self.watchdog_check_every,
+            "invariant_check_every": self.invariant_check_every,
+            "check_invariants": self.check_invariants,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """An ordered collection of cells, executed by a Runner."""
+
+    name: str
+    cells: Tuple[Cell, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", tuple(self.cells))
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        protocols: Sequence[Union[str, ProtocolConfig]],
+        workloads: Union[str, Iterable],
+        seeds: Sequence[int] = (1,),
+        params: Optional[SystemParams] = None,
+        **common,
+    ) -> "ExperimentSpec":
+        """The common sweep: every ``workload x protocol x seed`` cell.
+
+        ``workloads`` accepts a registry name, a ``(name, kwargs)`` pair,
+        or a list of either; ``common`` (max_events, faults, ...) is
+        applied to every cell.
+        """
+        if isinstance(workloads, (str, tuple)) and (
+            isinstance(workloads, str) or isinstance(workloads[0], str)
+        ):
+            workloads = [workloads]
+        params = params or SystemParams()
+        cells = []
+        for wl in workloads:
+            wl_name, wl_kwargs = (wl, {}) if isinstance(wl, str) else wl
+            for proto in protocols:
+                for seed in seeds:
+                    cells.append(
+                        Cell(
+                            protocol=proto,
+                            workload=wl_name,
+                            workload_kwargs=wl_kwargs,
+                            seed=seed,
+                            params=params,
+                            **common,
+                        )
+                    )
+        return cls(name=name, cells=tuple(cells))

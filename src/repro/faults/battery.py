@@ -16,6 +16,11 @@ Run it as ``python -m repro faults`` (writes
 ``benchmarks/results/robustness_battery.txt``) or through
 ``benchmarks/bench_robustness.py``.  Output contains no timestamps, so a
 fixed seed reproduces byte-identical reports.
+
+The sweep's cells run through the :mod:`repro.exp` engine (watchdog,
+invariant monitor and quiescent re-check armed declaratively), so
+``jobs`` parallelizes the grid and repeated sweeps replay from the result
+cache without recomputation.
 """
 
 from __future__ import annotations
@@ -25,11 +30,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.report import ResultTable
 from repro.common.errors import ReproError
 from repro.common.params import SystemParams
+from repro.exp.runner import Runner
+from repro.exp.spec import Cell, ExperimentSpec
 from repro.faults.injector import FaultConfig
-from repro.faults.watchdog import InvariantMonitor, LivenessWatchdog
-from repro.system.machine import Machine
-from repro.workloads.barrier import BarrierWorkload
-from repro.workloads.locking import LockingWorkload
 
 DEFAULT_RATES = (0.0, 0.05, 0.10, 0.20)
 DEFAULT_PROTOCOLS = ("TokenCMP-arb0", "TokenCMP-dst0", "TokenCMP-dst1")
@@ -45,15 +48,13 @@ class RobustnessFailure(ReproError):
     """The battery's bounded-slowdown (or completion) assertion failed."""
 
 
-def _workloads(scale: float) -> Dict[str, Callable]:
+def _workload_specs(scale: float) -> Dict[str, Tuple[str, Dict[str, int]]]:
     def n(base: int) -> int:
         return max(2, round(base * scale))
 
     return {
-        "locking": lambda p, s: LockingWorkload(
-            p, num_locks=4, acquires_per_proc=n(8), seed=s
-        ),
-        "barrier": lambda p, s: BarrierWorkload(p, phases=n(6), seed=s),
+        "locking": ("locking", {"num_locks": 4, "acquires_per_proc": n(8)}),
+        "barrier": ("barrier", {"phases": n(6)}),
     }
 
 
@@ -67,44 +68,57 @@ def run_robustness_battery(
     check_every_events: int = 2048,
     max_events: int = 40_000_000,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> List[ResultTable]:
     """Run the sweep; returns rendered tables.  Raises on any violation."""
     say = progress or (lambda msg: None)
     params = params or SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    workloads = _workloads(scale)
+    workloads = _workload_specs(scale)
+
+    # Every cell arms the watchdog + continuous invariant monitor and
+    # re-checks token conservation at quiescence; a violation raises out
+    # of the engine (serial or parallel) exactly as it used to.
+    cells = []
+    for wl_name, (registry_name, wl_kwargs) in workloads.items():
+        for proto in protocols:
+            for rate in rates:
+                cells.append(Cell(
+                    protocol=proto, workload=registry_name,
+                    workload_kwargs=wl_kwargs, seed=seed, params=params,
+                    max_events=max_events,
+                    faults=FaultConfig.adversarial(rate),
+                    watchdog_budget_ns=watchdog_budget_ns,
+                    watchdog_check_every=check_every_events,
+                    invariant_check_every=check_every_events,
+                    check_invariants=True,
+                    label=f"{wl_name}@{rate}",
+                ))
+    runner = Runner(jobs=jobs, cache=cache, cache_dir=cache_dir, progress=say)
+    result = runner.run(ExperimentSpec("robustness", tuple(cells)))
 
     runtimes: Dict[Tuple[str, str, float], int] = {}
     fault_totals: Dict[float, Dict[str, int]] = {r: {} for r in rates}
     runs = completions = checks = 0
     spurious = 0
 
-    for wl_name, factory in workloads.items():
+    for wl_name in workloads:
         for proto in protocols:
             for rate in rates:
-                say(f"{wl_name} / {proto} @ {rate:.0%} faults")
-                machine = Machine(
-                    params, proto, seed=seed, faults=FaultConfig.adversarial(rate)
-                )
-                watchdog = LivenessWatchdog(
-                    machine, budget_ns=watchdog_budget_ns,
-                    check_every_events=check_every_events,
-                )
-                monitor = InvariantMonitor(machine, check_every_events)
-                workload = factory(params, seed)
-                result = machine.run(workload, max_events=max_events)
-                machine.check_token_invariants()  # quiescent re-check
+                res = result.cell(protocol=proto, label=f"{wl_name}@{rate}")
                 runs += 1
-                completions += 1
-                checks += monitor.checks + 1
-                spurious += machine.stats.get("arb.spurious_deactivates")
-                assert watchdog.trips == 0  # a trip would have raised
-                runtimes[(wl_name, proto, rate)] = result.runtime_ps
+                completions += 1  # run_cell raises if any thread starves
+                checks += res.get("invariant.checks") + 1
+                spurious += res.get("arb.spurious_deactivates")
+                assert res.get("watchdog.trips") == 0  # a trip would have raised
+                runtimes[(wl_name, proto, rate)] = res.runtime_ps
                 for counter in FAULT_COUNTERS:
                     totals = fault_totals[rate]
-                    totals[counter] = totals.get(counter, 0) + machine.stats.get(counter)
+                    totals[counter] = totals.get(counter, 0) + res.get(counter)
 
                 base = runtimes[(wl_name, proto, rates[0])]
-                slowdown = result.runtime_ps / base if base else 1.0
+                slowdown = res.runtime_ps / base if base else 1.0
                 if slowdown > MAX_SLOWDOWN:
                     raise RobustnessFailure(
                         f"{wl_name}/{proto} at fault rate {rate}: slowdown "
@@ -153,14 +167,19 @@ def write_battery(
     scale: float = 1.0,
     seed: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> str:
     """Run the battery and write its report; returns the text.
 
     The report is deterministic: with a fixed seed two runs produce
-    byte-identical files (no timestamps, seeded faults, seeded workloads).
+    byte-identical files (no timestamps, seeded faults, seeded workloads)
+    — regardless of ``jobs`` or cache hits.
     """
     tables = run_robustness_battery(
-        rates=rates, protocols=protocols, scale=scale, seed=seed, progress=progress
+        rates=rates, protocols=protocols, scale=scale, seed=seed,
+        progress=progress, jobs=jobs, cache=cache, cache_dir=cache_dir,
     )
     header = (
         "Robustness battery: TokenCMP correctness substrate under an "

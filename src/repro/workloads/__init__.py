@@ -1,0 +1,151 @@
+"""Workload registry: the single source of truth for workload enumeration.
+
+Mirrors :data:`repro.system.config.PROTOCOLS` on the workload axis.  Every
+workload the CLI, the experiment engine (:mod:`repro.exp`) and the
+benchmarks can run is a :class:`WorkloadEntry` in :data:`REGISTRY`; a
+workload is addressed *declaratively* by ``(name, kwargs)`` so experiment
+cells can be pickled across worker processes and hashed for the
+content-addressed result cache.
+
+``python -m repro list`` and :meth:`repro.exp.spec.Cell` both enumerate
+from here — adding a workload means adding one entry, nothing else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.params import SystemParams
+from repro.workloads.base import Workload
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadEntry:
+    """One runnable workload family.
+
+    ``build(params, seed=..., **kwargs)`` constructs a fresh
+    :class:`~repro.workloads.base.Workload`.  ``cli_args`` maps CLI
+    options onto constructor keywords as ``(kwarg, cli_attr, scale)``
+    triples so ``python -m repro run/sweep`` need no per-workload code.
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Workload]
+    cli_args: Tuple[Tuple[str, str, int], ...] = ()
+
+    def cli_kwargs(self, args) -> Dict[str, int]:
+        """Constructor kwargs derived from an argparse namespace."""
+        return {
+            kwarg: getattr(args, attr) * scale
+            for kwarg, attr, scale in self.cli_args
+            if getattr(args, attr, None) is not None
+        }
+
+
+def _locking(params, seed=0, **kw):
+    from repro.workloads.locking import LockingWorkload
+
+    return LockingWorkload(params, seed=seed, **kw)
+
+
+def _barrier(params, seed=0, **kw):
+    from repro.workloads.barrier import BarrierWorkload
+
+    return BarrierWorkload(params, seed=seed, **kw)
+
+
+def _counter(params, seed=0, **kw):
+    from repro.workloads.sharing import CounterWorkload
+
+    return CounterWorkload(params, seed=seed, **kw)
+
+
+def _read_sharing(params, seed=0, **kw):
+    from repro.workloads.sharing import ReadSharingWorkload
+
+    return ReadSharingWorkload(params, seed=seed, **kw)
+
+
+def _pingpong(params, seed=0, **kw):
+    from repro.workloads.pingpong import PingPongWorkload
+
+    return PingPongWorkload(params, seed=seed, **kw)
+
+
+def _commercial(profile: str):
+    def build(params, seed=0, **kw):
+        from repro.workloads.commercial import make_commercial
+
+        return make_commercial(params, profile, seed=seed, **kw)
+
+    return build
+
+
+REGISTRY: Dict[str, WorkloadEntry] = {
+    "locking": WorkloadEntry(
+        "locking",
+        "lock acquire/release contention micro-benchmark (Figures 2-3)",
+        _locking,
+        cli_args=(("num_locks", "locks", 1), ("acquires_per_proc", "ops", 1)),
+    ),
+    "barrier": WorkloadEntry(
+        "barrier",
+        "sense-reversing barrier with lock-protected counter (Table 4)",
+        _barrier,
+        cli_args=(("phases", "ops", 1),),
+    ),
+    "counter": WorkloadEntry(
+        "counter",
+        "lock-protected shared counter increments (migratory sharing)",
+        _counter,
+        cli_args=(("increments", "ops", 1),),
+    ),
+    "read-sharing": WorkloadEntry(
+        "read-sharing",
+        "many readers over a shared read-only set (C-token rule)",
+        _read_sharing,
+        cli_args=(("rounds", "ops", 1),),
+    ),
+    "pingpong": WorkloadEntry(
+        "pingpong",
+        "two processors bounce one block (hand-off latency)",
+        _pingpong,
+        cli_args=(("rounds", "ops", 1),),
+    ),
+    "oltp": WorkloadEntry(
+        "oltp",
+        "synthetic OLTP reference stream (migratory-dominated, Figure 6)",
+        _commercial("oltp"),
+        cli_args=(("refs_per_proc", "ops", 10),),
+    ),
+    "apache": WorkloadEntry(
+        "apache",
+        "synthetic Apache reference stream (mixed sharing, Figure 6)",
+        _commercial("apache"),
+        cli_args=(("refs_per_proc", "ops", 10),),
+    ),
+    "specjbb": WorkloadEntry(
+        "specjbb",
+        "synthetic SPECjbb reference stream (mostly private, Figure 6)",
+        _commercial("specjbb"),
+        cli_args=(("refs_per_proc", "ops", 10),),
+    ),
+}
+
+
+def workload_entry(name: str) -> WorkloadEntry:
+    """Look up a registry entry by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def make_workload(name: str, params: SystemParams, seed: int = 0, **kwargs) -> Workload:
+    """Build a registered workload from its declarative description."""
+    return workload_entry(name).build(params, seed=seed, **kwargs)
