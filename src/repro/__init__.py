@@ -8,6 +8,8 @@ Coherence" (HPCA 2005).  Public entry points:
 * :data:`repro.system.config.PROTOCOLS` — every protocol by paper name
 * :mod:`repro.workloads` — locking / barrier / counter / commercial
 * :mod:`repro.verification` — the model checker and protocol models
+* :mod:`repro.exp` — the experiment engine (cells, runner, result cache)
+* :mod:`repro.obs` — tracing, transaction spans, metrics, profiling
 
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """

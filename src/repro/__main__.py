@@ -5,6 +5,8 @@ Commands:
 * ``list``    — show the available protocols, workloads and experiments
 * ``run``     — run one workload on one protocol, print stats
 * ``sweep``   — run a workload across all protocols, print normalized runtimes
+* ``trace``   — run one workload with tracing on, write a Perfetto-loadable
+  Chrome trace and (optionally) span/profiler reports
 * ``bench``   — run a named paper experiment through the engine
 * ``verify``  — model-check the protocol models (Section 5)
 * ``faults``  — run the robustness battery under an adversarial network
@@ -138,6 +140,42 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    import os
+
+    from repro.obs import (
+        KernelProfiler,
+        SpanBuilder,
+        Tracer,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    tracer = Tracer()
+    profiler = KernelProfiler() if args.profile else None
+    cell = _cell_from_args(args, args.protocol)
+    result = run_cell(cell, tracer=tracer, profiler=profiler)
+    report = SpanBuilder().build(tracer.events)
+    parent = os.path.dirname(args.trace_out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    doc = write_chrome_trace(args.trace_out, tracer.events, report)
+    if args.validate:
+        count = validate_chrome_trace(doc)
+        print(f"validated {count} trace records")
+    print(f"wrote {args.trace_out} ({len(tracer.events)} events; "
+          f"load at https://ui.perfetto.dev)")
+    print(f"runtime {result.runtime_ns:.1f} ns, "
+          f"{result.get('l1.misses')} misses")
+    if args.spans:
+        print()
+        print(report.render())
+    if profiler is not None:
+        print()
+        print(profiler.report())
+    return 0
+
+
 def cmd_verify(args) -> int:
     from repro.verification.checker import check
     from repro.verification.dir_model import DirFlatModel
@@ -199,9 +237,9 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="show protocols, workloads and experiments")
 
-    for name in ("run", "sweep"):
+    for name in ("run", "sweep", "trace"):
         p = sub.add_parser(name, help=f"{name} a workload")
-        if name == "run":
+        if name in ("run", "trace"):
             p.add_argument("protocol", choices=sorted(PROTOCOLS))
         p.add_argument("workload", choices=sorted(REGISTRY))
         p.add_argument("--chips", type=int, default=4)
@@ -211,10 +249,21 @@ def main(argv=None) -> int:
                        help="acquires / phases / increments / rounds (x10 "
                             "refs for commercial workloads)")
         p.add_argument("--locks", type=int, default=32)
-        p.add_argument("--json", action="store_true",
-                       help="emit structured CellResult records")
+        if name in ("run", "sweep"):
+            p.add_argument("--json", action="store_true",
+                           help="emit structured CellResult records")
         if name == "sweep":
             _add_engine_flags(p)
+        if name == "trace":
+            p.add_argument("--trace-out",
+                           default="benchmarks/results/trace.json",
+                           help="Chrome trace output path (Perfetto-loadable)")
+            p.add_argument("--spans", action="store_true",
+                           help="print the transaction-span latency report")
+            p.add_argument("--profile", action="store_true",
+                           help="profile kernel event handlers (wall time)")
+            p.add_argument("--validate", action="store_true",
+                           help="schema-validate the trace before writing")
 
     b = sub.add_parser("bench", help="run a named paper experiment")
     b.add_argument("experiment", nargs="?", default="",
@@ -250,6 +299,7 @@ def main(argv=None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "trace": cmd_trace,
         "bench": cmd_bench,
         "verify": cmd_verify,
         "faults": cmd_faults,

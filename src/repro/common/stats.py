@@ -12,6 +12,9 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict
 
+#: Percentiles reported everywhere (summary exports, span reports, CLI).
+PERCENTILES = (50, 95, 99)
+
 
 class Summary:
     """Online count/sum/min/max summary plus approximate percentiles.
@@ -58,6 +61,55 @@ class Summary:
         index = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
         return ordered[index]
 
+    def merge(self, other: "Summary") -> "Summary":
+        """Fold ``other`` into this summary in place (and return self).
+
+        The percentile samples are combined at a common stride: the finer
+        sample is downsampled (deterministically, ``[::2]`` per halving)
+        until both represent the same keep-rate, then concatenated and
+        re-halved while over the buffer limit — the same reduction
+        :meth:`add` applies, so a merged summary behaves like one built
+        from the concatenated streams.
+        """
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        mine, my_stride = self._sample, self._stride
+        theirs, their_stride = other._sample, other._stride
+        while my_stride < their_stride:
+            mine = mine[::2]
+            my_stride *= 2
+        while their_stride < my_stride:
+            theirs = theirs[::2]
+            their_stride *= 2
+        merged = mine + theirs
+        while len(merged) >= self._limit:
+            merged = merged[::2]
+            my_stride *= 2
+        self._sample = merged
+        self._stride = my_stride
+        return self
+
+    def to_dict(self) -> Dict[str, float]:
+        """count/total/mean/min/max/p50/p95/p99 as plain floats (JSON-safe)."""
+        if not self.count:
+            return {"count": 0, "total": 0.0}
+        record = {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        for q in PERCENTILES:
+            record[f"p{q}"] = self.percentile(q)
+        return record
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Summary(n={self.count}, mean={self.mean:.1f})"
 
@@ -84,3 +136,18 @@ class Stats:
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.counters)
+
+    def to_dict(self) -> Dict[str, dict]:
+        """Counters plus every non-empty summary, fully serialized.
+
+        This is the canonical stats export: :class:`repro.exp.result
+        .CellResult` and the metrics-JSON document both build on it, so a
+        summary's field layout is defined in exactly one place
+        (:meth:`Summary.to_dict`).
+        """
+        return {
+            "counters": dict(self.counters),
+            "summaries": {
+                name: s.to_dict() for name, s in self.summaries.items() if s.count
+            },
+        }

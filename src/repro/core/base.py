@@ -89,6 +89,9 @@ class TokenCacheController:
         self.net.token_absorbed(msg)  # retire in-flight conservation tracking
         if msg.tokens == 0 and not msg.owner:
             return
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.token_absorb(self.node, msg)
         entry = self._ensure_entry(msg.addr)
         # The dirty bit is deliberately NOT inherited from the sender: it
         # drives the migratory-sharing heuristic, which applies only when
@@ -314,12 +317,14 @@ class TokenCacheController:
             mtype = MsgType.TOK_WB_DATA if data is not None else MsgType.TOK_WB
         else:
             mtype = MsgType.TOK_DATA if data is not None else MsgType.TOK_ACK
-        self.net.send(
-            Message(
-                mtype=mtype, src=self.node, dst=dst, addr=addr,
-                tokens=tokens, owner=owner, data=data, dirty=dirty,
-            )
+        out = Message(
+            mtype=mtype, src=self.node, dst=dst, addr=addr,
+            tokens=tokens, owner=owner, data=data, dirty=dirty,
         )
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.token_send(self.node, out)
+        self.net.send(out)
         if entry.tokens == 0:
             self.array.deallocate(addr)  # no-op for already-evicted victims
         self._hook_gave_tokens(addr, dst)

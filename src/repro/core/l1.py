@@ -78,6 +78,9 @@ class TokenL1Controller(TokenCacheController):
             done(self._perform(op, addr))
             return
         self.stats.bump("l1.misses")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.tx_issue(self.node, addr, write)
         tx = Transaction(
             op=op, addr=addr, done=done, start_ps=self.sim.now, is_write=write
         )
@@ -141,7 +144,11 @@ class TokenL1Controller(TokenCacheController):
     def _send_transient(self, tx: Transaction, global_: bool) -> None:
         mtype = MsgType.TOK_GETX if tx.is_write else MsgType.TOK_GETS
         self.stats.bump("policy.transient_requests")
-        for dst in self._transient_destinations(tx.addr, global_):
+        dests = self._transient_destinations(tx.addr, global_)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.tx_transient(self.node, tx.addr, global_, len(dests))
+        for dst in dests:
             self.net.send(
                 Message(mtype=mtype, src=self.node, dst=dst, addr=tx.addr, requestor=self.node)
             )
@@ -159,6 +166,9 @@ class TokenL1Controller(TokenCacheController):
             # broadcast grows with the retry count, and the jitter spreads
             # colliding requestors apart.
             backoff = int(self.rng.random() * self.estimator.threshold_ps(tx.retries) / 2)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.tx_retry(self.node, tx.addr, tx.retries, backoff)
             tx.timer = self.sim.schedule(backoff, self._retry, tx)
         else:
             self._go_persistent(tx)
@@ -180,6 +190,9 @@ class TokenL1Controller(TokenCacheController):
         self.stats.bump("persistent.requests")
         if read:
             self.stats.bump("persistent.reads")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.tx_persistent(self.node, tx.addr, read, self.cfg.activation)
         if self.cfg.activation == "arb":
             self.net.send(
                 Message(
@@ -204,6 +217,11 @@ class TokenL1Controller(TokenCacheController):
         tx.waiting_wave = False
         from repro.core.persistent import PersistentEntry
 
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.persist_activate(
+                self.node, tx.addr, requestor=self.node, prio=self.prio, scheme="dst"
+            )
         self.table.insert(
             PersistentEntry(
                 proc=self.proc, requestor=self.node, addr=tx.addr, read=read, prio=self.prio
@@ -245,6 +263,11 @@ class TokenL1Controller(TokenCacheController):
         # Distributed scheme: remove our entry locally, mark the wave,
         # and broadcast the deactivation; the next-highest request becomes
         # active everywhere and our own table forwards the block directly.
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.persist_deactivate(
+                self.node, tx.addr, requestor=self.node, scheme="dst"
+            )
         self.table.remove(self.proc, tx.addr)
         self.table.mark_all_for(tx.addr)
         for dst in self._persistent_broadcast_set(tx.addr):
@@ -284,6 +307,9 @@ class TokenL1Controller(TokenCacheController):
             tx = self._tx.get(msg.addr)
             if tx is not None:
                 tx.data_source = classify_source(msg.src, self.chip)
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.tx_data(self.node, msg.addr, tx.data_source)
         if (
             self.destset is not None
             and msg.src.chip != self.chip
@@ -315,6 +341,13 @@ class TokenL1Controller(TokenCacheController):
         if tx.persistent:
             source += "+persistent"
         self.stats.bump(f"miss.src.{source}")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.tx_complete(
+                self.node, addr,
+                latency_ps=self.sim.now - tx.start_ps,
+                source=source, persistent=tx.persistent, retries=tx.retries,
+            )
         if tx.persistent and not tx.waiting_wave:
             self._deactivate(tx)
             self._token_state_changed(addr)  # hand contended block onward

@@ -74,11 +74,19 @@ class TokenL2Controller(TokenCacheController):
         predicted destination set) plus home memory."""
         self.stats.bump("l2.escalations")
         chips = [c for c in self.params.all_chips() if c != self.chip]
+        multicast = False
         if self.destset is not None:
             predicted = self.destset.predict(msg.addr, self.params.all_chips(), self.chip)
             if predicted is not None:
                 chips = predicted
+                multicast = True
                 self.stats.bump("l2.multicasts")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.tx_escalate(
+                msg.requestor, msg.addr,
+                via=self.node, ndests=len(chips) + 1, multicast=multicast,
+            )
         for chip in chips:
             self._forward(msg, self.params.l2_bank(msg.addr, chip))
         self._forward(msg, self.params.home_mem(msg.addr))

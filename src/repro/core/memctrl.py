@@ -84,6 +84,9 @@ class TokenMemController:
     # ------------------------------------------------------------------
     def _on_tokens(self, msg: Message) -> None:
         self.net.token_absorbed(msg)  # retire in-flight conservation tracking
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.token_absorb(self.node, msg)
         addr = msg.addr
         tokens = self.tokens_of(addr) + msg.tokens
         owner = self.is_owner(addr)
@@ -179,6 +182,9 @@ class TokenMemController:
             owner=give_owner,
             data=data,
         )
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.token_send(self.node, msg)
         # send_later (not a bare schedule of send) so fault-injection
         # wrappers count the tokens as in flight during the DRAM access.
         self.net.send_later(delay, msg)

@@ -155,11 +155,23 @@ class Arbiter:
             return
         self._active = self._queue.popleft()
         self.stats.bump("arb.activations")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.persist_activate(
+                self.node, self._active.addr,
+                requestor=self._active.requestor,
+                prio=self._active.prio, scheme="arb",
+            )
         self._broadcast(MsgType.PERSIST_ACTIVATE, self._active)
 
     def _deactivate(self, msg: Message) -> None:
         active = self._active
         if active is not None and active.requestor == msg.requestor and active.addr == msg.addr:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.persist_deactivate(
+                    self.node, active.addr, requestor=active.requestor, scheme="arb"
+                )
             self._broadcast(MsgType.PERSIST_DEACTIVATE, active)
             self._active = None
             self._maybe_activate()

@@ -153,6 +153,7 @@ class InterDirController:
         assert line.busy, f"{self.node}: unblock while idle ({msg})"
         chip = msg.src.chip
         granted = msg.extra
+        old = line.state
         if granted in (GRANT_M, GRANT_E):
             line.state = "M"
             line.owner_chip = chip
@@ -161,12 +162,19 @@ class InterDirController:
             line.sharer_chips.add(chip)
             line.state = "O" if line.owner_chip is not None else "S"
         line.busy = False
+        tracer = self.sim.tracer
+        if tracer is not None and line.state != old:
+            tracer.dir_transition(
+                self.node, msg.addr, old=old, new=line.state,
+                cause=f"unblock:{granted}",
+            )
         self._drain(msg.addr, line)
 
     def _on_writeback_phase3(self, msg: Message) -> None:
         addr = msg.addr
         line = self._line(addr)
         chip = msg.src.chip
+        old_state = line.state
         if msg.mtype is MsgType.DIR_WB_TOKEN and msg.extra == "notice":
             # Spontaneous clean-shared eviction notice; no handshake.
             line.sharer_chips.discard(chip)
@@ -174,6 +182,12 @@ class InterDirController:
                 line.state = "I"
             elif line.state == "O" and not line.sharer_chips:
                 line.state = "M"
+            tracer = self.sim.tracer
+            if tracer is not None and line.state != old_state:
+                tracer.dir_transition(
+                    self.node, addr, old=old_state, new=line.state,
+                    cause="wb-notice",
+                )
             return
         assert line.busy, f"{self.node}: WB data while idle ({msg})"
         if msg.mtype is MsgType.DIR_WB_DATA:
@@ -187,6 +201,11 @@ class InterDirController:
                 line.owner_chip = None
                 line.state = "S" if line.sharer_chips else "I"
         line.busy = False
+        tracer = self.sim.tracer
+        if tracer is not None and line.state != old_state:
+            tracer.dir_transition(
+                self.node, addr, old=old_state, new=line.state, cause="writeback"
+            )
         self._drain(addr, line)
 
     def _drain(self, addr: int, line: HomeLine) -> None:

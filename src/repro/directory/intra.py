@@ -377,7 +377,14 @@ class IntraDirL2Controller:
         line.value = pend.data
         line.dirty = pend.dirty
         line.l2_data = True
+        old_gstate = line.gstate
         line.gstate = {GRANT_M: M, GRANT_E: E, GRANT_S: S}[pend.granted]
+        tracer = self.sim.tracer
+        if tracer is not None and line.gstate != old_gstate:
+            tracer.dir_transition(
+                self.node, addr, old=old_gstate, new=line.gstate,
+                cause=f"global:{pend.granted}",
+            )
         self._send(
             MsgType.DIR_UNBLOCK, self._home_mem(addr), addr,
             requestor=self.node, extra=pend.granted,
@@ -452,6 +459,11 @@ class IntraDirL2Controller:
         targets = set(line.sharers)
         if line.owner_l1 is not None:
             targets.add(line.owner_l1)  # defensive: INV normally has no owner
+        tracer = self.sim.tracer
+        if tracer is not None and line.gstate != "I":
+            tracer.dir_transition(
+                self.node, addr, old=line.gstate, new="I", cause="ext-inv"
+            )
         line.sharers = set()
         line.owner_l1 = None
         line.gstate = "I"
@@ -484,6 +496,11 @@ class IntraDirL2Controller:
             data=line.value if line.l2_data else None,
             dirty=line.dirty,
         )
+        tracer = self.sim.tracer
+        if tracer is not None and line.gstate != "I":
+            tracer.dir_transition(
+                self.node, addr, old=line.gstate, new="I", cause="ext-take-all"
+            )
         line.sharers = set()
         line.owner_l1 = None
         line.gstate = "I"

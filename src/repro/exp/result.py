@@ -14,10 +14,9 @@ import dataclasses
 import json
 from typing import Dict, Optional, Union
 
+from repro.common.stats import PERCENTILES  # noqa: F401  (canonical home)
 from repro.common.types import to_ns
 from repro.interconnect.traffic import Scope, TrafficClass
-
-PERCENTILES = (50, 95, 99)
 
 
 @dataclasses.dataclass
@@ -71,26 +70,15 @@ class CellResult:
         traffic: Dict[str, Dict[str, int]] = {}
         for (scope, klass), nbytes in run_result.meter.bytes.items():
             traffic.setdefault(scope.value, {})[klass.value] = nbytes
-        summaries = {}
-        for name, s in run_result.stats.summaries.items():
-            if not s.count:
-                continue
-            summaries[name] = {
-                "count": s.count,
-                "total": s.total,
-                "mean": s.mean,
-                "min": s.min,
-                "max": s.max,
-                **{f"p{q}": s.percentile(q) for q in PERCENTILES},
-            }
+        stats = run_result.stats.to_dict()
         return cls(
             protocol=cell.protocol_name,
             workload=cell.workload_name,
             seed=cell.seed,
             runtime_ps=run_result.runtime_ps,
-            counters=dict(run_result.stats.counters),
+            counters=stats["counters"],
             traffic=traffic,
-            summaries=summaries,
+            summaries=stats["summaries"],
             label=cell.label,
             cache_key=cache_key,
             raw=run_result,
@@ -116,6 +104,16 @@ class CellResult:
     def to_json(self) -> str:
         """Canonical JSON — the determinism contract's unit of comparison."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def metrics(self) -> dict:
+        """The canonical metrics-JSON document for this result.
+
+        Schema-tagged (``repro.metrics/1``) and validated by
+        :func:`repro.obs.metrics.validate_metrics`.
+        """
+        from repro.obs.metrics import cell_metrics  # lazy: obs is optional here
+
+        return cell_metrics(self)
 
     @classmethod
     def from_dict(cls, record: dict) -> "CellResult":

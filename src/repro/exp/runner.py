@@ -26,7 +26,7 @@ from repro.system.machine import Machine
 from repro.workloads import make_workload
 
 
-def run_cell(cell: Cell) -> CellResult:
+def run_cell(cell: Cell, tracer=None, profiler=None) -> CellResult:
     """Execute one cell: build the machine + workload, run, record.
 
     This is the single supported entry point for running an experiment
@@ -34,9 +34,18 @@ def run_cell(cell: Cell) -> CellResult:
     here.  The returned result carries the in-process ``RunResult`` in
     ``.raw`` (dropped when the result crosses a process boundary or the
     cache).
+
+    ``tracer`` (:class:`repro.obs.trace.Tracer`) and ``profiler``
+    (:class:`repro.obs.profile.KernelProfiler`) attach to the machine's
+    kernel before the run; both are observational only — attaching them
+    never changes the simulated outcome.
     """
     machine = Machine(cell.params, cell.protocol, seed=cell.seed,
                       faults=cell.faults)
+    if tracer is not None:
+        tracer.attach(machine.sim)
+    if profiler is not None:
+        profiler.attach(machine.sim)
     watchdog = monitor = None
     if cell.watchdog_budget_ns is not None:
         from repro.faults.watchdog import LivenessWatchdog

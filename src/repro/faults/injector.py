@@ -201,6 +201,7 @@ class FaultyNetwork:
         klass, policy = self._policy_for(msg)
         carries_tokens = msg.tokens > 0 or msg.owner
         unsafe = self.config.allow_unsafe
+        tracer = self.sim.tracer
 
         # ---- drop ----------------------------------------------------
         if policy.drop > 0.0 and self._rng.random() < policy.drop:
@@ -213,6 +214,8 @@ class FaultyNetwork:
             else:
                 self.stats.bump("faults.dropped")
                 self.stats.bump(f"faults.dropped.{klass}")
+                if tracer is not None:
+                    tracer.fault("drop", msg, klass)
                 if carries_tokens:
                     self._in_flight.pop(msg.uid, None)
                     self.stats.bump("faults.tokens_destroyed", msg.tokens)
@@ -221,11 +224,17 @@ class FaultyNetwork:
         # ---- extra latency: long delay and/or reorder jitter ---------
         extra = 0
         if policy.delay > 0.0 and self._rng.random() < policy.delay:
-            extra += 1 + self._rng.randrange(max(1, policy.delay_ps))
+            delay_ps = 1 + self._rng.randrange(max(1, policy.delay_ps))
+            extra += delay_ps
             self.stats.bump("faults.delayed")
+            if tracer is not None:
+                tracer.fault("delay", msg, klass, extra_ps=delay_ps)
         if policy.reorder > 0.0 and self._rng.random() < policy.reorder:
-            extra += self._rng.randrange(policy.reorder_window_ps + 1)
+            jitter_ps = self._rng.randrange(policy.reorder_window_ps + 1)
+            extra += jitter_ps
             self.stats.bump("faults.reordered")
+            if tracer is not None:
+                tracer.fault("reorder", msg, klass, extra_ps=jitter_ps)
 
         # Persistent channels are FIFO per (src, dst) no matter what the
         # jitter drew: activate/deactivate order is load-bearing.
@@ -254,6 +263,10 @@ class FaultyNetwork:
                     self._fifo_last[key] = copy_at
                 self.stats.bump("faults.duplicated")
                 self.stats.bump(f"faults.duplicated.{klass}")
+                if tracer is not None:
+                    tracer.fault(
+                        "duplicate", msg, klass, extra_ps=copy_at - self.sim.now
+                    )
                 if forge:
                     self.stats.bump("faults.tokens_created", msg.tokens)
                 self.sim.schedule_at(copy_at, handler, copy)

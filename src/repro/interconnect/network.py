@@ -102,10 +102,30 @@ class Network:
             raise ConfigError(f"no endpoint registered for {msg.dst}")
         nbytes = msg.size_bytes(self.params.data_msg_bytes, self.params.control_msg_bytes)
         arrival = self.sim.now
-        for link in self._path(msg.src, msg.dst):
+        links = self._path(msg.src, msg.dst)
+        for link in links:
             arrival = link.traverse(arrival, nbytes)
             self.meter.record(link.scope, msg.mtype.klass, nbytes)
-        self.sim.schedule_at(arrival, self._endpoints[msg.dst], msg)
+        tracer = self.sim.tracer
+        if tracer is None:
+            self.sim.schedule_at(arrival, self._endpoints[msg.dst], msg)
+        else:
+            # Same event count and (time, seq) order as the untraced path:
+            # the delivery shim only adds the msg.recv emission.
+            tracer.msg_send(msg, nbytes=nbytes, hops=len(links), arrival_ps=arrival)
+            self.sim.schedule_at(arrival, self._deliver_traced, msg)
+
+    def _deliver_traced(self, msg: Message) -> None:
+        """Delivery shim used while tracing: emit ``msg.recv``, then act.
+
+        ``msg.recv`` marks the *nominal* arrival at the endpoint; on a
+        fault-injected machine the injector's ``fault.*`` events follow it
+        when the delivery is then dropped, duplicated or rescheduled.
+        """
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.msg_recv(msg)
+        self._endpoints[msg.dst](msg)
 
     def send_later(self, delay_ps: int, msg: Message) -> None:
         """Send ``msg`` after a local processing delay (e.g. DRAM access).

@@ -1,0 +1,109 @@
+"""Kernel profiler: where does wall-clock time go while simulating?
+
+:class:`KernelProfiler` attaches to a :class:`~repro.sim.kernel.Simulator`
+through two hooks:
+
+* the **profiler hook** (``sim.profiler``): the kernel times every event
+  callback with :func:`time.perf_counter_ns` and reports
+  ``record(fn, wall_ns)`` — aggregated here per *callback site*
+  (``module.qualname``), giving fired-event counts and wall-time totals
+  per handler;
+* the **watcher hook** (:meth:`Simulator.add_watcher`): a periodic tick
+  snapshots ``(simulated time, events fired, wall clock)`` so the report
+  can show the simulation rate (events per wall-second, simulated ns per
+  wall-second) over the run.
+
+Wall-clock numbers are inherently nondeterministic, so profiler output is
+never part of a trace file — the determinism contract covers traces and
+simulation results only.  Attaching a profiler does not perturb the
+simulation itself (no events, no RNG).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+
+def _site(fn) -> str:
+    module = getattr(fn, "__module__", None) or "?"
+    qualname = getattr(fn, "__qualname__", None) or repr(fn)
+    return f"{module}.{qualname}"
+
+
+class KernelProfiler:
+    """Per-callback-site wall-time and event-count histograms."""
+
+    def __init__(self, rate_every_events: int = 8192):
+        # site -> [fired events, total wall ns, max wall ns]
+        self.sites: Dict[str, List[int]] = {}
+        self.rate_every_events = rate_every_events
+        self._rates: List[Tuple[int, int, int]] = []  # (sim ps, fired, wall ns)
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    def attach(self, sim) -> "KernelProfiler":
+        """Register on ``sim``'s profiler and watcher hooks."""
+        sim.profiler = self
+        self._sim = sim
+        sim.add_watcher(self._rate_tick, self.rate_every_events)
+        self._rate_tick()
+        return self
+
+    def record(self, fn, wall_ns: int) -> None:
+        """Kernel callback: one event handler ran for ``wall_ns``."""
+        cell = self.sites.get(_site(fn))
+        if cell is None:
+            cell = self.sites[_site(fn)] = [0, 0, 0]
+        cell[0] += 1
+        cell[1] += wall_ns
+        if wall_ns > cell[2]:
+            cell[2] = wall_ns
+
+    def _rate_tick(self) -> None:
+        self._rates.append(
+            (self._sim.now, self._sim.events_fired, time.perf_counter_ns())
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def events_profiled(self) -> int:
+        return sum(cell[0] for cell in self.sites.values())
+
+    @property
+    def total_wall_ns(self) -> int:
+        return sum(cell[1] for cell in self.sites.values())
+
+    def top_sites(self, n: int = 20) -> List[Tuple[str, int, int, int]]:
+        """(site, events, total_wall_ns, max_wall_ns), by wall time."""
+        rows = [
+            (site, cell[0], cell[1], cell[2]) for site, cell in self.sites.items()
+        ]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows[:n]
+
+    def report(self, top: int = 20) -> str:
+        """Human-readable profile: hot callback sites + simulation rate."""
+        lines = [
+            f"kernel profile: {self.events_profiled} events, "
+            f"{self.total_wall_ns / 1e6:.1f} ms handler wall time"
+        ]
+        lines.append(
+            f"  {'callback site':52s} {'events':>9s} {'total ms':>9s}"
+            f" {'avg us':>8s} {'max us':>8s}"
+        )
+        for site, count, total, peak in self.top_sites(top):
+            lines.append(
+                f"  {site[:52]:52s} {count:9d} {total / 1e6:9.2f}"
+                f" {total / count / 1e3:8.2f} {peak / 1e3:8.2f}"
+            )
+        if len(self._rates) >= 2:
+            sim0, fired0, wall0 = self._rates[0]
+            sim1, fired1, wall1 = self._rates[-1]
+            wall_s = max(1e-9, (wall1 - wall0) / 1e9)
+            lines.append(
+                f"  rate: {(fired1 - fired0) / wall_s:,.0f} events/s, "
+                f"{(sim1 - sim0) / 1e3 / wall_s:,.0f} simulated ns/s "
+                f"over {len(self._rates) - 1} watcher intervals"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Transaction spans: per-miss lifecycles stitched from trace events.
+
+An L1 miss emits a ``tx.issue`` event, then (depending on the protocol's
+performance policy) ``tx.transient`` broadcasts, a ``tx.escalate`` from
+the home L2 bank when the chip cannot satisfy the miss, ``tx.retry`` and
+``tx.persistent`` escalations, a ``tx.data`` arrival and finally a
+``tx.complete``.  :class:`SpanBuilder` folds that stream into one
+:class:`Span` per miss, keyed by (requesting node, block address) — an L1
+has at most one outstanding transaction per block, so the key is unique
+among open spans.
+
+Spans are classified into the three lifecycle shapes the paper's
+hierarchical policy produces:
+
+* ``intra-hit`` — satisfied inside the CMP, no off-chip escalation;
+* ``escalated`` — the home L2 bank broadcast the miss to other CMPs
+  and/or memory (an inter-CMP transaction);
+* ``persistent`` — the requestor fell back to the correctness
+  substrate's persistent request.
+
+:meth:`SpanReport.segment_summaries` gives per-category, per-segment
+latency :class:`~repro.common.stats.Summary` streams (count, mean,
+p50/p95/p99); segments are the deltas between consecutive observed
+milestones (``issue -> transient -> escalate -> persistent -> data ->
+complete``), so a span that skipped a milestone simply contributes to the
+coarser segment spanning it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.stats import Summary
+from repro.common.types import NodeId, to_ns
+from repro.obs.trace import TraceEvent
+
+#: Canonical milestone order within one transaction lifecycle.
+MILESTONES = ("issue", "transient", "escalate", "persistent", "data", "complete")
+
+#: Span categories, most specific first.
+CATEGORIES = ("persistent", "escalated", "intra-hit")
+
+
+@dataclasses.dataclass
+class Span:
+    """One coherence transaction's lifecycle."""
+
+    node: NodeId
+    addr: int
+    start_ps: int
+    milestones: Dict[str, int]  # milestone name -> first timestamp (ps)
+    end_ps: Optional[int] = None
+    retries: int = 0
+    source: Optional[str] = None  # who supplied the data
+    write: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return self.end_ps is not None
+
+    @property
+    def latency_ps(self) -> int:
+        return (self.end_ps or self.start_ps) - self.start_ps
+
+    @property
+    def category(self) -> str:
+        if "persistent" in self.milestones:
+            return "persistent"
+        if "escalate" in self.milestones:
+            return "escalated"
+        return "intra-hit"
+
+    def segments(self) -> List[Tuple[str, int]]:
+        """(name, duration_ps) between consecutive observed milestones."""
+        present = [m for m in MILESTONES if m in self.milestones]
+        out = []
+        for prev, cur in zip(present, present[1:]):
+            out.append(
+                (f"{prev}->{cur}", self.milestones[cur] - self.milestones[prev])
+            )
+        return out
+
+
+class SpanBuilder:
+    """Stitches ``tx.*`` trace events into :class:`Span` records."""
+
+    def build(self, events: Iterable[TraceEvent]) -> "SpanReport":
+        open_: Dict[Tuple[NodeId, int], Span] = {}
+        done: List[Span] = []
+        orphans = 0
+        for ev in events:
+            if not ev.kind.startswith("tx."):
+                continue
+            key = (ev.node, ev.addr)
+            if ev.kind == "tx.issue":
+                open_[key] = Span(
+                    node=ev.node,
+                    addr=ev.addr,
+                    start_ps=ev.ts_ps,
+                    milestones={"issue": ev.ts_ps},
+                    write=bool(ev.fields.get("write")),
+                )
+                continue
+            span = open_.get(key)
+            if span is None:
+                orphans += 1  # e.g. an escalate racing a completed miss
+                continue
+            milestone = ev.kind[3:]  # strip "tx."
+            if ev.kind == "tx.retry":
+                span.retries += 1
+                continue
+            span.milestones.setdefault(milestone, ev.ts_ps)
+            if ev.kind == "tx.data":
+                if span.source is None:
+                    span.source = ev.fields.get("source")
+            elif ev.kind == "tx.complete":
+                span.end_ps = ev.ts_ps
+                span.source = ev.fields.get("source", span.source)
+                done.append(span)
+                del open_[key]
+        return SpanReport(
+            spans=done, open_spans=list(open_.values()), orphan_events=orphans
+        )
+
+
+@dataclasses.dataclass
+class SpanReport:
+    """All spans of one traced run, with latency-breakdown helpers."""
+
+    spans: List[Span]
+    open_spans: List[Span]
+    orphan_events: int = 0
+
+    def by_category(self) -> Dict[str, List[Span]]:
+        out: Dict[str, List[Span]] = {c: [] for c in CATEGORIES}
+        for span in self.spans:
+            out[span.category].append(span)
+        return out
+
+    def segment_summaries(self) -> Dict[str, Dict[str, Summary]]:
+        """category -> {"total": Summary, "<a>-><b>": Summary, ...}."""
+        out: Dict[str, Dict[str, Summary]] = {}
+        for category, spans in self.by_category().items():
+            if not spans:
+                continue
+            streams: Dict[str, Summary] = {"total": Summary()}
+            for span in spans:
+                streams["total"].add(span.latency_ps)
+                for name, dur in span.segments():
+                    if name not in streams:
+                        streams[name] = Summary()
+                    streams[name].add(dur)
+            out[category] = streams
+        return out
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable per-segment p50/p95/p99 report (nanoseconds)."""
+        lines = [
+            f"transaction spans: {len(self.spans)} complete, "
+            f"{len(self.open_spans)} open, {self.orphan_events} orphan events"
+        ]
+        summaries = self.segment_summaries()
+        for category in CATEGORIES:
+            streams = summaries.get(category)
+            if streams is None:
+                continue
+            total = streams["total"]
+            lines.append(
+                f"  {category}: n={total.count}  mean={to_ns(total.mean):.1f} ns"
+            )
+            for name in ["total"] + sorted(k for k in streams if k != "total"):
+                s = streams[name]
+                lines.append(
+                    f"    {name:22s} p50={to_ns(s.percentile(50)):8.1f}"
+                    f"  p95={to_ns(s.percentile(95)):8.1f}"
+                    f"  p99={to_ns(s.percentile(99)):8.1f} ns"
+                    f"  (n={s.count})"
+                )
+        if len(lines) == 1:
+            lines.append("  (no transactions traced)")
+        return "\n".join(lines)

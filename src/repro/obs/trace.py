@@ -1,0 +1,279 @@
+"""Structured trace bus: typed events collected from the whole machine.
+
+A :class:`Tracer` attaches to one :class:`~repro.sim.kernel.Simulator`
+(``tracer.attach(sim)`` sets ``sim.tracer``); every instrumented component
+reads ``self.sim.tracer`` at event time and emits only when a tracer is
+present, so the default (no tracer) costs one attribute load and an
+``is None`` test per site.
+
+Two properties are load-bearing:
+
+* **Tracing never changes the simulation.**  Emitting is purely
+  observational — no extra kernel events, no RNG draws, no state.  A run
+  with a tracer produces byte-identical results to a run without one.
+
+* **Traces are deterministic.**  Event payloads contain only simulated
+  quantities.  Message identity uses a per-trace *dense* id (first-seen
+  order) rather than the process-global ``Message.uid`` counter, so two
+  runs of the same cell — even back-to-back in one process — produce
+  byte-identical trace files.
+
+Event kinds (the trace schema; see docs/observability.md):
+
+==================  ===============================================
+kind                meaning
+==================  ===============================================
+``sim.run.begin``   kernel entered :meth:`Simulator.run`
+``sim.run.end``     kernel left :meth:`Simulator.run`
+``msg.send``        a message entered the interconnect
+``msg.recv``        a message reached its endpoint (nominal arrival)
+``token.send``      a controller gave tokens up
+``token.absorb``    a controller folded tokens into its state
+``tx.issue``        an L1 miss opened a coherence transaction
+``tx.transient``    a transient-request broadcast was sent
+``tx.retry``        a transient retry fired (with its backoff)
+``tx.escalate``     the home L2 bank escalated the miss off-chip
+``tx.persistent``   the requestor fell back to a persistent request
+``tx.data``         data for an open transaction arrived
+``tx.complete``     the transaction completed (miss satisfied)
+``persist.activate``    a persistent request became active
+``persist.deactivate``  the active persistent request retired
+``dir.transition``  a directory line changed state
+``fault.drop`` / ``fault.duplicate`` / ``fault.delay`` /
+``fault.reorder``   the fault injector perturbed a delivery
+==================  ===============================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.types import NodeId
+
+KINDS = frozenset(
+    {
+        "sim.run.begin",
+        "sim.run.end",
+        "msg.send",
+        "msg.recv",
+        "token.send",
+        "token.absorb",
+        "tx.issue",
+        "tx.transient",
+        "tx.retry",
+        "tx.escalate",
+        "tx.persistent",
+        "tx.data",
+        "tx.complete",
+        "persist.activate",
+        "persist.deactivate",
+        "dir.transition",
+        "fault.drop",
+        "fault.duplicate",
+        "fault.delay",
+        "fault.reorder",
+    }
+)
+
+
+@dataclasses.dataclass
+class TraceEvent:
+    """One structured trace record."""
+
+    __slots__ = ("ts_ps", "kind", "node", "addr", "fields")
+
+    ts_ps: int
+    kind: str
+    node: Optional[NodeId]
+    addr: Optional[int]
+    fields: Dict[str, Any]
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from one simulated machine.
+
+    Attach before running (``tracer.attach(machine.sim)`` or via
+    ``run_cell(cell, tracer=...)``); read ``tracer.events`` afterwards, or
+    hand them to :class:`~repro.obs.spans.SpanBuilder` /
+    :func:`~repro.obs.export.chrome_trace`.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._sim = None
+        self._mids: Dict[int, int] = {}  # Message.uid -> dense per-trace id
+
+    # ------------------------------------------------------------------
+    def attach(self, sim) -> "Tracer":
+        """Register on ``sim`` so instrumented components find us."""
+        sim.tracer = self
+        self._sim = sim
+        return self
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(
+        self,
+        kind: str,
+        node: Optional[NodeId] = None,
+        addr: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        """Record one event at the current simulated time."""
+        ts = self._sim.now if self._sim is not None else 0
+        self.events.append(TraceEvent(ts, kind, node, addr, fields))
+
+    def mid(self, msg) -> int:
+        """Dense, per-trace message id (deterministic across processes)."""
+        uid = msg.uid
+        mid = self._mids.get(uid)
+        if mid is None:
+            mid = len(self._mids)
+            self._mids[uid] = mid
+        return mid
+
+    # ------------------------------------------------------------------
+    # Typed emit helpers — one per schema kind, so call sites stay short
+    # and the payload layout is fixed in exactly one place.
+    # ------------------------------------------------------------------
+    def msg_send(self, msg, nbytes: int, hops: int, arrival_ps: int) -> None:
+        self.emit(
+            "msg.send",
+            node=msg.src,
+            addr=msg.addr,
+            mid=self.mid(msg),
+            mtype=msg.mtype.name,
+            src=str(msg.src),
+            dst=str(msg.dst),
+            tokens=msg.tokens,
+            owner=msg.owner,
+            nbytes=nbytes,
+            hops=hops,
+            arrival_ps=arrival_ps,
+        )
+
+    def msg_recv(self, msg) -> None:
+        self.emit(
+            "msg.recv",
+            node=msg.dst,
+            addr=msg.addr,
+            mid=self.mid(msg),
+            mtype=msg.mtype.name,
+            src=str(msg.src),
+        )
+
+    def token_send(self, node: NodeId, msg) -> None:
+        self.emit(
+            "token.send",
+            node=node,
+            addr=msg.addr,
+            mid=self.mid(msg),
+            dst=str(msg.dst),
+            tokens=msg.tokens,
+            owner=msg.owner,
+            data=msg.data is not None,
+        )
+
+    def token_absorb(self, node: NodeId, msg) -> None:
+        self.emit(
+            "token.absorb",
+            node=node,
+            addr=msg.addr,
+            mid=self.mid(msg),
+            src=str(msg.src),
+            tokens=msg.tokens,
+            owner=msg.owner,
+        )
+
+    def tx_issue(self, node: NodeId, addr: int, write: bool) -> None:
+        self.emit("tx.issue", node=node, addr=addr, write=write)
+
+    def tx_transient(self, node: NodeId, addr: int, global_: bool, ndests: int) -> None:
+        self.emit(
+            "tx.transient", node=node, addr=addr, global_=global_, ndests=ndests
+        )
+
+    def tx_retry(self, node: NodeId, addr: int, retries: int, backoff_ps: int) -> None:
+        self.emit(
+            "tx.retry", node=node, addr=addr, retries=retries, backoff_ps=backoff_ps
+        )
+
+    def tx_escalate(
+        self, requestor: NodeId, addr: int, via: NodeId, ndests: int, multicast: bool
+    ) -> None:
+        # node is the *requestor* so span stitching can attribute the
+        # escalation to the open transaction it belongs to.
+        self.emit(
+            "tx.escalate",
+            node=requestor,
+            addr=addr,
+            via=str(via),
+            ndests=ndests,
+            multicast=multicast,
+        )
+
+    def tx_persistent(self, node: NodeId, addr: int, read: bool, scheme: str) -> None:
+        self.emit("tx.persistent", node=node, addr=addr, read=read, scheme=scheme)
+
+    def tx_data(self, node: NodeId, addr: int, source: str) -> None:
+        self.emit("tx.data", node=node, addr=addr, source=source)
+
+    def tx_complete(
+        self,
+        node: NodeId,
+        addr: int,
+        latency_ps: int,
+        source: str,
+        persistent: bool,
+        retries: int,
+    ) -> None:
+        self.emit(
+            "tx.complete",
+            node=node,
+            addr=addr,
+            latency_ps=latency_ps,
+            source=source,
+            persistent=persistent,
+            retries=retries,
+        )
+
+    def persist_activate(
+        self, node: NodeId, addr: int, requestor: NodeId, prio: int, scheme: str
+    ) -> None:
+        self.emit(
+            "persist.activate",
+            node=node,
+            addr=addr,
+            requestor=str(requestor),
+            prio=prio,
+            scheme=scheme,
+        )
+
+    def persist_deactivate(
+        self, node: NodeId, addr: int, requestor: NodeId, scheme: str
+    ) -> None:
+        self.emit(
+            "persist.deactivate",
+            node=node,
+            addr=addr,
+            requestor=str(requestor),
+            scheme=scheme,
+        )
+
+    def dir_transition(
+        self, node: NodeId, addr: int, old: str, new: str, cause: str
+    ) -> None:
+        self.emit("dir.transition", node=node, addr=addr, old=old, new=new, cause=cause)
+
+    def fault(self, action: str, msg, klass: str, extra_ps: int = 0) -> None:
+        self.emit(
+            f"fault.{action}",
+            node=msg.dst,
+            addr=msg.addr,
+            mid=self.mid(msg),
+            mtype=msg.mtype.name,
+            klass=klass,
+            extra_ps=extra_ps,
+        )

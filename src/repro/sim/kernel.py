@@ -4,11 +4,21 @@ A minimal, deterministic event queue: events fire in (time, sequence)
 order, so two events scheduled for the same picosecond fire in the order
 they were scheduled.  Everything else in the simulator — networks, cache
 controllers, processor threads — is built as callbacks on this kernel.
+
+Observability hooks (both ``None`` by default, and free when unset):
+
+* ``sim.tracer`` — a :class:`repro.obs.trace.Tracer`; instrumented
+  components all over the machine read this attribute at event time and
+  emit structured trace events only when it is set.
+* ``sim.profiler`` — a :class:`repro.obs.profile.KernelProfiler`; when
+  set, the run loop times every callback with ``perf_counter_ns`` and
+  reports it via ``profiler.record(fn, wall_ns)``.
 """
 
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns
 from typing import Any, Callable, Optional
 
 from repro.common.errors import DeadlockError
@@ -17,7 +27,7 @@ from repro.common.errors import DeadlockError
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -25,10 +35,20 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim: Optional["Simulator"] = None  # set while pending
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Keep the scheduler's live-event count exact without scanning the
+        # queue: the back-reference is cleared once the event pops, so a
+        # cancel after firing cannot double-decrement.
+        sim = self.sim
+        if sim is not None:
+            sim._pending -= 1
+            self.sim = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -41,8 +61,11 @@ class Simulator:
         self._queue: list[Event] = []
         self._now: int = 0
         self._seq: int = 0
+        self._pending: int = 0
         self.events_fired: int = 0
         self._watchers: list = []  # (every_events, fn) pairs
+        self.tracer = None  # repro.obs.trace.Tracer (attach() sets this)
+        self.profiler = None  # repro.obs.profile.KernelProfiler
 
     def add_watcher(self, fn: Callable[[], None], every_events: int = 1024) -> None:
         """Call ``fn()`` every ``every_events`` fired events.
@@ -69,6 +92,8 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past (delay={delay_ps})")
         self._seq += 1
         event = Event(self._now + delay_ps, self._seq, fn, args)
+        event.sim = self
+        self._pending += 1
         heapq.heappush(self._queue, event)
         return event
 
@@ -78,8 +103,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1)).
+
+        Maintained live — incremented on :meth:`schedule`, decremented on
+        :meth:`Event.cancel` and on firing — so watchdogs and monitors can
+        poll it every check interval without degrading large runs.
+        """
+        return self._pending
 
     def run(
         self,
@@ -95,6 +125,25 @@ class Simulator:
         by itself; hitting ``max_events`` then raises :class:`DeadlockError`.
         Returns the final simulated time.
         """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("sim.run.begin", pending=self._pending)
+        try:
+            return self._run(until, max_events, expect_drain)
+        finally:
+            if tracer is not None:
+                tracer.emit(
+                    "sim.run.end",
+                    events_fired=self.events_fired,
+                    pending=self._pending,
+                )
+
+    def _run(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        expect_drain: bool,
+    ) -> int:
         fired = 0
         while self._queue:
             if until is not None and self._queue[0].time > until:
@@ -102,9 +151,17 @@ class Simulator:
                 return self._now
             event = heapq.heappop(self._queue)
             if event.cancelled:
-                continue
+                continue  # already uncounted by Event.cancel
+            event.sim = None
+            self._pending -= 1
             self._now = event.time
-            event.fn(*event.args)
+            profiler = self.profiler
+            if profiler is not None:
+                start_ns = perf_counter_ns()
+                event.fn(*event.args)
+                profiler.record(event.fn, perf_counter_ns() - start_ns)
+            else:
+                event.fn(*event.args)
             fired += 1
             self.events_fired += 1
             if self._watchers:

@@ -94,3 +94,52 @@ def test_pending_counts_live_events():
     assert sim.pending == 2
     e1.cancel()
     assert sim.pending == 1
+
+
+def test_pending_decrements_as_events_fire():
+    sim = Simulator()
+    seen = []
+    for delay in (10, 20, 30):
+        sim.schedule(delay, lambda: seen.append(sim.pending))
+    sim.run()
+    assert sim.pending == 0
+    assert seen == [2, 1, 0]  # each callback sees the not-yet-fired rest
+
+
+def test_cancel_after_fire_does_not_double_decrement():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    sim.run(until=15)  # first event fired, second still pending
+    assert sim.pending == 1
+    event.cancel()  # no-op: already fired
+    assert sim.pending == 1
+
+
+def test_double_cancel_decrements_once():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_watcher_cadence_spans_multiple_runs():
+    sim = Simulator()
+    ticks = []
+    sim.add_watcher(lambda: ticks.append(sim.events_fired), every_events=4)
+    for delay in range(1, 7):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    assert sim.events_fired == 6
+    assert ticks == [4]
+    # The cadence is on the *cumulative* fired-event count, so a second
+    # run() on the same kernel continues the rhythm instead of restarting.
+    for delay in range(1, 7):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    assert sim.events_fired == 12
+    assert ticks == [4, 8, 12]

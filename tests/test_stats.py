@@ -1,0 +1,140 @@
+"""Tests for Summary/Stats serialization, merging and sampling.
+
+The percentile sample is a bounded systematic sample whose keep-rate
+halves when the buffer fills; merging must combine two summaries at a
+common stride so a merged summary behaves like one built from the
+concatenated streams.
+"""
+
+import pytest
+
+from repro.common.stats import PERCENTILES, Stats, Summary
+
+
+# ---------------------------------------------------------------------------
+# Stride-halving sampling.
+# ---------------------------------------------------------------------------
+def test_stride_stays_a_power_of_two_and_sample_bounded():
+    s = Summary(sample_limit=64)
+    for v in range(10_000):
+        s.add(float(v))
+    assert s._stride & (s._stride - 1) == 0  # power of two
+    assert s._stride > 1
+    assert len(s._sample) < 64
+    assert s.count == 10_000
+
+
+def test_small_streams_keep_every_value():
+    s = Summary()
+    for v in (3.0, 1.0, 2.0):
+        s.add(v)
+    assert s._stride == 1
+    assert sorted(s._sample) == [1.0, 2.0, 3.0]
+
+
+def test_empty_summary_percentile_is_zero():
+    s = Summary()
+    assert s.percentile(50) == 0.0
+    assert s.mean == 0.0
+
+
+# ---------------------------------------------------------------------------
+# to_dict.
+# ---------------------------------------------------------------------------
+def test_summary_to_dict_has_all_fields():
+    s = Summary()
+    for v in range(1, 101):
+        s.add(float(v))
+    d = s.to_dict()
+    assert d["count"] == 100 and d["total"] == 5050.0
+    assert d["min"] == 1.0 and d["max"] == 100.0
+    assert d["mean"] == 50.5
+    for q in PERCENTILES:
+        assert f"p{q}" in d
+    assert d["p50"] <= d["p95"] <= d["p99"]
+
+
+def test_empty_summary_to_dict_is_minimal():
+    assert Summary().to_dict() == {"count": 0, "total": 0.0}
+
+
+def test_stats_to_dict_skips_empty_summaries():
+    stats = Stats()
+    stats.bump("hits", 3)
+    stats.sample("lat", 10.0)
+    stats.summaries["untouched"]  # defaultdict creates an empty stream
+    d = stats.to_dict()
+    assert d["counters"] == {"hits": 3}
+    assert set(d["summaries"]) == {"lat"}
+    assert d["summaries"]["lat"]["count"] == 1
+
+
+# ---------------------------------------------------------------------------
+# merge.
+# ---------------------------------------------------------------------------
+def test_merge_combines_count_total_min_max():
+    a, b = Summary(), Summary()
+    for v in (1.0, 2.0, 3.0):
+        a.add(v)
+    for v in (10.0, 20.0):
+        b.add(v)
+    out = a.merge(b)
+    assert out is a
+    assert a.count == 5 and a.total == 36.0
+    assert a.min == 1.0 and a.max == 20.0
+    assert a.mean == 7.2
+
+
+def test_merge_empty_is_identity_both_ways():
+    a = Summary()
+    for v in (5.0, 6.0):
+        a.add(v)
+    before = a.to_dict()
+    a.merge(Summary())
+    assert a.to_dict() == before
+    empty = Summary()
+    empty.merge(a)
+    assert empty.to_dict() == a.to_dict()
+
+
+def test_merge_aligns_different_strides():
+    a = Summary(sample_limit=64)  # will have halved several times
+    b = Summary(sample_limit=64)  # stays at stride 1
+    for v in range(2_000):
+        a.add(float(v))
+    for v in range(2_000, 2_030):
+        b.add(float(v))
+    stride_a = a._stride
+    assert stride_a > 1 and b._stride == 1
+    a.merge(b)
+    assert a.count == 2_030
+    assert a._stride >= stride_a
+    assert a._stride & (a._stride - 1) == 0
+    assert len(a._sample) < 64
+
+
+def test_merge_percentiles_approximate_concatenation():
+    parts = [Summary(sample_limit=256) for _ in range(4)]
+    whole = Summary(sample_limit=256)
+    for i in range(8_000):
+        parts[i % 4].add(float(i))
+        whole.add(float(i))
+    merged = parts[0]
+    for part in parts[1:]:
+        merged.merge(part)
+    assert merged.count == whole.count == 8_000
+    for q in PERCENTILES:
+        want = q / 100 * 8_000
+        assert merged.percentile(q) == pytest.approx(want, rel=0.15)
+
+
+def test_merge_then_add_keeps_sampling():
+    a, b = Summary(sample_limit=32), Summary(sample_limit=32)
+    for v in range(100):
+        a.add(float(v))
+        b.add(float(100 + v))
+    a.merge(b)
+    for v in range(1_000):
+        a.add(float(v))
+    assert a.count == 1_200
+    assert len(a._sample) < 32
