@@ -1,0 +1,31 @@
+"""Kernel/network/end-to-end performance suite (BENCH_perf.json).
+
+Thin entry point over :mod:`repro.perf` — the suite itself lives in the
+package so ``python -m repro perf`` shares the exact same benchmarks and
+flags.  Typical uses::
+
+    # full suite, refresh the committed baseline
+    PYTHONPATH=src python benchmarks/bench_perf.py --out BENCH_perf.json
+
+    # CI smoke: quick sizes, deterministic-stats file, regression gate
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick \
+        --stats-out /tmp/stats.json --check BENCH_perf.json
+
+See ``docs/performance.md`` for how to read the output and how the
+committed reference (pre-optimization) numbers were produced.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+if __name__ == "__main__":
+    try:
+        from repro.perf import main
+    except ImportError:  # allow running without PYTHONPATH=src
+        sys.path.insert(
+            0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        )
+        from repro.perf import main
+    sys.exit(main())

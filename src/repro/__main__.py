@@ -8,6 +8,8 @@ Commands:
 * ``trace``   — run one workload with tracing on, write a Perfetto-loadable
   Chrome trace and (optionally) span/profiler reports
 * ``bench``   — run a named paper experiment through the engine
+* ``perf``    — run the kernel/network/end-to-end performance suite
+  (``BENCH_perf.json``; see ``docs/performance.md``)
 * ``verify``  — model-check the protocol models (Section 5)
 * ``faults``  — run the robustness battery under an adversarial network
 * ``report``  — run the experiment battery, write markdown
@@ -176,6 +178,12 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from repro.perf import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_verify(args) -> int:
     from repro.verification.checker import check
     from repro.verification.dir_model import DirFlatModel
@@ -272,6 +280,13 @@ def main(argv=None) -> int:
                    help="emit structured CellResult records")
     _add_engine_flags(b)
 
+    from repro.perf import add_arguments as _add_perf_arguments
+
+    pf = sub.add_parser(
+        "perf", help="run the kernel/network/e2e performance suite"
+    )
+    _add_perf_arguments(pf)
+
     v = sub.add_parser("verify", help="model-check the protocol models")
     v.add_argument("--fast", action="store_true")
     v.add_argument("--max-states", type=int, default=6_000_000)
@@ -301,6 +316,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "trace": cmd_trace,
         "bench": cmd_bench,
+        "perf": cmd_perf,
         "verify": cmd_verify,
         "faults": cmd_faults,
         "report": cmd_report,

@@ -24,8 +24,15 @@ def to_ns(value_ps: int) -> float:
     return value_ps / PS_PER_NS
 
 
-class NodeKind(enum.Enum):
-    """The kind of coherence endpoint a :class:`NodeId` names."""
+class NodeKind(str, enum.Enum):
+    """The kind of coherence endpoint a :class:`NodeId` names.
+
+    ``str`` is mixed in purely for speed: :class:`NodeId` tuples key the
+    interconnect's route and endpoint tables, and the mixin gives members
+    the C-level ``str.__hash__``/``str.__eq__`` instead of the
+    Python-level ``enum`` ones — the hot ``send`` path hashes millions of
+    these per run.  Values and identity semantics are unchanged.
+    """
 
     L1D = "l1d"
     L1I = "l1i"

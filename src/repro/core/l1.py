@@ -148,10 +148,13 @@ class TokenL1Controller(TokenCacheController):
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.tx_transient(self.node, tx.addr, global_, len(dests))
+        template = Message(
+            mtype=mtype, src=self.node, dst=self.node, addr=tx.addr,
+            requestor=self.node,
+        )
+        send = self.net.send
         for dst in dests:
-            self.net.send(
-                Message(mtype=mtype, src=self.node, dst=dst, addr=tx.addr, requestor=self.node)
-            )
+            send(template.clone_to(dst))
 
     def _on_timeout(self, tx: Transaction) -> None:
         if self._tx.get(tx.addr) is not tx:
@@ -227,19 +230,19 @@ class TokenL1Controller(TokenCacheController):
                 proc=self.proc, requestor=self.node, addr=tx.addr, read=read, prio=self.prio
             )
         )
+        template = Message(
+            mtype=MsgType.PERSIST_ACTIVATE,
+            src=self.node,
+            dst=self.node,
+            addr=tx.addr,
+            requestor=self.node,
+            prio=self.prio,
+            read=read,
+            extra=self.proc,
+        )
+        send = self.net.send
         for dst in self._persistent_broadcast_set(tx.addr):
-            self.net.send(
-                Message(
-                    mtype=MsgType.PERSIST_ACTIVATE,
-                    src=self.node,
-                    dst=dst,
-                    addr=tx.addr,
-                    requestor=self.node,
-                    prio=self.prio,
-                    read=read,
-                    extra=self.proc,
-                )
-            )
+            send(template.clone_to(dst))
         self._token_state_changed(tx.addr)
 
     def _persistent_broadcast_set(self, addr: int):
@@ -270,17 +273,17 @@ class TokenL1Controller(TokenCacheController):
             )
         self.table.remove(self.proc, tx.addr)
         self.table.mark_all_for(tx.addr)
+        template = Message(
+            mtype=MsgType.PERSIST_DEACTIVATE,
+            src=self.node,
+            dst=self.node,
+            addr=tx.addr,
+            requestor=self.node,
+            extra=self.proc,
+        )
+        send = self.net.send
         for dst in self._persistent_broadcast_set(tx.addr):
-            self.net.send(
-                Message(
-                    mtype=MsgType.PERSIST_DEACTIVATE,
-                    src=self.node,
-                    dst=dst,
-                    addr=tx.addr,
-                    requestor=self.node,
-                    extra=self.proc,
-                )
-            )
+            send(template.clone_to(dst))
 
     def _on_deactivate(self, msg: Message) -> None:
         super()._on_deactivate(msg)

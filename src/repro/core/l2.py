@@ -87,9 +87,11 @@ class TokenL2Controller(TokenCacheController):
                 msg.requestor, msg.addr,
                 via=self.node, ndests=len(chips) + 1, multicast=multicast,
             )
+        template = self._forward_template(msg)
+        send = self.net.send
         for chip in chips:
-            self._forward(msg, self.params.l2_bank(msg.addr, chip))
-        self._forward(msg, self.params.home_mem(msg.addr))
+            send(template.clone_to(self.params.l2_bank(msg.addr, chip)))
+        send(template.clone_to(self.params.home_mem(msg.addr)))
 
     def _rebroadcast(self, msg: Message) -> None:
         """Deliver an external transient request to (filtered) local L1s."""
@@ -99,15 +101,18 @@ class TokenL2Controller(TokenCacheController):
             self.stats.bump("l2.filter_suppressed", len(l1s) - len(dests))
         else:
             dests = l1s
+        if not dests:
+            return
+        template = self._forward_template(msg)
+        send = self.net.send
         for dst in dests:
-            self._forward(msg, dst)
+            send(template.clone_to(dst))
 
-    def _forward(self, msg: Message, dst: NodeId) -> None:
-        self.net.send(
-            Message(
-                mtype=msg.mtype, src=self.node, dst=dst, addr=msg.addr,
-                requestor=msg.requestor,
-            )
+    def _forward_template(self, msg: Message) -> Message:
+        """Template for fanning ``msg`` out; clone per destination."""
+        return Message(
+            mtype=msg.mtype, src=self.node, dst=self.node, addr=msg.addr,
+            requestor=msg.requestor,
         )
 
     # ------------------------------------------------------------------

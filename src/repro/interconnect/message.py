@@ -97,6 +97,21 @@ class Message:
     def size_bytes(self, data_bytes: int, control_bytes: int) -> int:
         return data_bytes if self.mtype.has_data else control_bytes
 
+    def clone_to(self, dst: NodeId) -> "Message":
+        """A copy of this message addressed to ``dst``, with a fresh uid.
+
+        Broadcast fan-out builds one template message and clones it per
+        destination — a dict copy plus two field writes instead of a
+        full 16-field dataclass construction per destination.  The fresh
+        ``uid`` keeps per-message identity (in-flight token tracking,
+        trace message ids) intact.
+        """
+        clone = Message.__new__(Message)
+        clone.__dict__.update(self.__dict__)
+        clone.dst = dst
+        clone.uid = next(_msg_ids)
+        return clone
+
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         bits = [f"{self.mtype.name} {self.src}->{self.dst} @{self.addr:#x}"]
         if self.tokens:

@@ -15,16 +15,32 @@ each other.  A cross-chip message traverses (intra egress) -> (inter
 egress of the source chip) -> (intra egress of the destination chip's
 interface), so it consumes bandwidth on every network it crosses, which
 is what the paper's traffic figures measure.
+
+Hot-path design
+---------------
+
+``send`` sits under every coherence message, so its per-message work is
+precomputed at construction time:
+
+* a **route cache** — ``(src, dst) -> tuple[Link, ...]`` for every node
+  pair in the machine, built once from the :meth:`_path` branch ladder
+  (which stays as the executable reference the tests compare against);
+* a **size table** — ``MsgType -> bytes``, so sizing a message is one
+  dict hit instead of a method call and branch;
+* **integer link serialization** — each :class:`Link` folds its
+  bandwidth into an exact integer numerator/denominator pair at
+  construction, so ``traverse`` is pure integer arithmetic (no float
+  rounding, no platform-dependent timing).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.params import SystemParams
 from repro.common.types import NodeId, NodeKind
-from repro.interconnect.message import Message
+from repro.interconnect.message import Message, MsgType
 from repro.interconnect.traffic import Scope, TrafficMeter
 from repro.sim.kernel import Simulator
 
@@ -32,7 +48,10 @@ from repro.sim.kernel import Simulator
 class Link:
     """One egress link: fixed latency plus serialization at a bandwidth."""
 
-    __slots__ = ("name", "scope", "latency_ps", "bytes_per_ns", "busy_until", "bytes_carried")
+    __slots__ = (
+        "name", "scope", "latency_ps", "bytes_per_ns", "busy_until",
+        "bytes_carried", "_ser_num", "_ser_den",
+    )
 
     def __init__(self, name: str, scope: Scope, latency_ps: int, bytes_per_ns: float):
         self.name = name
@@ -41,17 +60,37 @@ class Link:
         self.bytes_per_ns = bytes_per_ns
         self.busy_until = 0
         self.bytes_carried = 0
+        # Serialization is ``nbytes / bytes_per_ns`` ns = ``nbytes * 1000
+        # / bytes_per_ns`` ps.  Expand the (possibly fractional) bandwidth
+        # into an exact integer ratio once, so ``traverse`` computes an
+        # exact integer ceiling — float ``round()`` banker's-rounds and
+        # risks platform-dependent timing on inexact quotients.
+        num, den = float(bytes_per_ns).as_integer_ratio()
+        self._ser_num = 1000 * den
+        self._ser_den = num
+
+    def serialization_ps(self, nbytes: int) -> int:
+        """Exact integer serialization delay for ``nbytes`` on this link.
+
+        Computed as ``ceil(nbytes * 1000 / bytes_per_ns)`` in integer
+        arithmetic, clamped to >= 1 ps: zero-byte/control messages on a
+        fast link must still advance ``busy_until``, so same-cycle
+        messages on one link keep strict FIFO order.
+        """
+        ser = -(-nbytes * self._ser_num // self._ser_den)
+        return ser if ser > 1 else 1
 
     def traverse(self, start_ps: int, nbytes: int) -> int:
         """Occupy the link for one message; return its arrival time."""
-        # Serialization is clamped to >= 1 ps: zero-byte/control messages on
-        # a fast link must still advance ``busy_until``, so same-cycle
-        # messages on one link keep strict FIFO order.
-        serialization_ps = max(1, round(nbytes / self.bytes_per_ns * 1000))
-        begin = max(start_ps, self.busy_until)
-        self.busy_until = begin + serialization_ps
+        ser = -(-nbytes * self._ser_num // self._ser_den)
+        if ser < 1:
+            ser = 1
+        begin = self.busy_until
+        if start_ps > begin:
+            begin = start_ps
+        self.busy_until = begin + ser
         self.bytes_carried += nbytes
-        return begin + serialization_ps + self.latency_ps
+        return begin + ser + self.latency_ps
 
 
 Handler = Callable[[Message], None]
@@ -70,6 +109,21 @@ class Network:
         self._mem_out: Dict[int, Link] = {}
         self._mem_in: Dict[int, Link] = {}
         self._build_links()
+        # (src, dst) -> tuple of egress links, for every node pair in the
+        # machine; lazily extended for pairs outside the enumeration
+        # (tests register ad-hoc endpoints).
+        self._routes: Dict[Tuple[NodeId, NodeId], Tuple[Link, ...]] = {}
+        self._build_routes()
+        # MsgType -> wire size in bytes (Section 8 sizes from params).
+        # ``send`` itself branches on the two ints below (an attribute
+        # load beats hashing an enum member), but the full table stays
+        # the introspectable statement of the sizing rule.
+        self._data_bytes: int = params.data_msg_bytes
+        self._ctrl_bytes: int = params.control_msg_bytes
+        self._msg_size: Dict[MsgType, int] = {
+            mtype: (self._data_bytes if mtype.has_data else self._ctrl_bytes)
+            for mtype in MsgType
+        }
 
     def _build_links(self) -> None:
         p = self.params
@@ -89,6 +143,33 @@ class Network:
                 f"mem-in:{chip}", Scope.MEM, p.mem_link_latency_ps, p.mem_link_bw
             )
 
+    def _all_nodes(self) -> List[NodeId]:
+        """Every addressable endpoint in the machine, for route building."""
+        p = self.params
+        nodes: List[NodeId] = []
+        for chip in range(p.num_chips):
+            nodes.extend(p.chip_l1s(chip))
+            nodes.extend(p.chip_l2_banks(chip))
+            nodes.append(p.iface_of(chip))
+            nodes.append(NodeId(NodeKind.MEM, chip))
+            nodes.append(NodeId(NodeKind.ARB, chip))
+        return nodes
+
+    def _build_routes(self) -> None:
+        """Precompute the route for every (src, dst) node pair.
+
+        Built once at machine construction from the :meth:`_path` branch
+        ladder, so ``send`` never re-runs the ladder per message.  The
+        ladder itself is kept as the executable reference — the route
+        cache tests exhaustively compare every cached entry against it.
+        """
+        nodes = self._all_nodes()
+        routes = self._routes
+        path = self._path
+        for src in nodes:
+            for dst in nodes:
+                routes[(src, dst)] = tuple(path(src, dst))
+
     # ------------------------------------------------------------------
     def register(self, node: NodeId, handler: Handler) -> None:
         """Attach a controller callback as the endpoint for ``node``."""
@@ -98,22 +179,30 @@ class Network:
 
     def send(self, msg: Message) -> None:
         """Route ``msg`` from ``msg.src`` to ``msg.dst`` and deliver it."""
-        if msg.dst not in self._endpoints:
+        endpoint = self._endpoints.get(msg.dst)
+        if endpoint is None:
             raise ConfigError(f"no endpoint registered for {msg.dst}")
-        nbytes = msg.size_bytes(self.params.data_msg_bytes, self.params.control_msg_bytes)
-        arrival = self.sim.now
-        links = self._path(msg.src, msg.dst)
-        for link in links:
+        mtype = msg.mtype
+        nbytes = self._data_bytes if mtype.has_data else self._ctrl_bytes
+        route = self._routes.get((msg.src, msg.dst))
+        if route is None:  # ad-hoc endpoint outside the machine enumeration
+            route = tuple(self._path(msg.src, msg.dst))
+            self._routes[(msg.src, msg.dst)] = route
+        sim = self.sim
+        arrival = sim._now
+        klass = mtype.klass
+        record = self.meter.record
+        for link in route:
             arrival = link.traverse(arrival, nbytes)
-            self.meter.record(link.scope, msg.mtype.klass, nbytes)
-        tracer = self.sim.tracer
+            record(link.scope, klass, nbytes)
+        tracer = sim.tracer
         if tracer is None:
-            self.sim.schedule_at(arrival, self._endpoints[msg.dst], msg)
+            sim.schedule(arrival - sim._now, endpoint, msg)
         else:
             # Same event count and (time, seq) order as the untraced path:
             # the delivery shim only adds the msg.recv emission.
-            tracer.msg_send(msg, nbytes=nbytes, hops=len(links), arrival_ps=arrival)
-            self.sim.schedule_at(arrival, self._deliver_traced, msg)
+            tracer.msg_send(msg, nbytes=nbytes, hops=len(route), arrival_ps=arrival)
+            sim.schedule(arrival - sim._now, self._deliver_traced, msg)
 
     def _deliver_traced(self, msg: Message) -> None:
         """Delivery shim used while tracing: emit ``msg.recv``, then act.
@@ -142,7 +231,12 @@ class Network:
 
     # ------------------------------------------------------------------
     def _path(self, src: NodeId, dst: NodeId) -> List[Link]:
-        """Egress links a message crosses from ``src`` to ``dst``."""
+        """Egress links a message crosses from ``src`` to ``dst``.
+
+        The reference branch ladder.  ``send`` reads the precomputed
+        ``_routes`` table instead; this stays as the single statement of
+        the routing rules (and the oracle the route-cache tests replay).
+        """
         if src == dst:
             return []
         p = self.params

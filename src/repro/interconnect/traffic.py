@@ -14,8 +14,14 @@ from collections import defaultdict
 from typing import Dict, Tuple
 
 
-class TrafficClass(enum.Enum):
-    """Message classes used in the paper's Figure 7 breakdown."""
+class TrafficClass(str, enum.Enum):
+    """Message classes used in the paper's Figure 7 breakdown.
+
+    ``str`` is mixed in for hashing speed: :meth:`TrafficMeter.record`
+    keys ``bytes`` by ``(scope, class)`` once per link per message, and
+    the mixin replaces the Python-level ``enum`` hash with the C-level
+    ``str`` one.  Values and identity semantics are unchanged.
+    """
 
     RESPONSE_DATA = "Response Data"
     WRITEBACK_DATA = "Writeback Data"
@@ -26,8 +32,9 @@ class TrafficClass(enum.Enum):
     PERSISTENT = "Persistent"
 
 
-class Scope(enum.Enum):
-    """Which physical network a link belongs to."""
+class Scope(str, enum.Enum):
+    """Which physical network a link belongs to (str-mixed for C-level
+    hashing on the per-message metering path, like :class:`TrafficClass`)."""
 
     INTRA = "intra"
     INTER = "inter"

@@ -1,0 +1,450 @@
+"""Performance benchmark suite: kernel, network, and end-to-end.
+
+The repo's figures are produced by millions of events flowing through
+``Simulator._run`` and ``Network.send``; this module gives that hot path
+a *perf trajectory* — canonical microbenchmarks whose results are written
+to ``BENCH_perf.json`` and checked by CI for regressions.
+
+Three layers are measured:
+
+* ``kernel_chain``   — pure event-loop throughput: parallel self-
+  rescheduling callback chains, no cancellation, no watchers.
+* ``kernel_cancel``  — scheduling churn: every step schedules an extra
+  event and cancels it (lazy-deletion path) under an active watcher.
+* ``network_send``   — ``Network.send`` throughput on the paper's 4x4
+  machine: route-cache lookups, integer link serialization, traffic
+  metering and delivery scheduling.
+* ``e2e_fig6_smoke`` — one real experiment cell (TokenCMP-dst1 running
+  the scaled-down OLTP workload from the Figure 6 smoke test).
+
+Every benchmark reports wall-clock *timing* fields (``wall_s``,
+``*_per_sec``) and *deterministic* fields (event counts, byte totals,
+metrics hashes).  :func:`deterministic_stats` projects a report onto the
+deterministic fields only — two runs of the suite must produce
+byte-identical projections, which is what the CI ``perf-smoke`` job
+asserts.  :func:`compare` checks timing fields against a committed
+baseline with a tolerance.
+
+Run it as ``python -m repro perf`` or ``python benchmarks/bench_perf.py``
+(same flags; see :func:`main`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from time import perf_counter
+from typing import Dict, List, Optional
+
+SCHEMA = "repro.bench_perf/1"
+
+# The fig6 smoke cell: must stay in lockstep with the determinism tests
+# so the metrics hash below is comparable across harness versions.
+E2E_PROTOCOL = "TokenCMP-dst1"
+E2E_WORKLOAD = "oltp"
+E2E_REFS_PER_PROC = 120
+E2E_SEED = 1
+
+
+def _noop() -> None:
+    pass
+
+
+# ----------------------------------------------------------------------
+# kernel microbenchmarks
+# ----------------------------------------------------------------------
+
+def bench_kernel_chain(n_events: int = 200_000, chains: int = 4,
+                       repeats: int = 3) -> Dict[str, object]:
+    """Raw event-loop throughput: ``chains`` self-rescheduling callbacks.
+
+    Each chain schedules its own next step, so the heap stays small and
+    the measurement isolates pop/dispatch/push cost — the floor every
+    simulated machine pays per event.
+    """
+    from repro.sim.kernel import Simulator
+
+    per_chain = n_events // chains
+    best = None
+    events = 0
+    for _ in range(repeats):
+        sim = Simulator()
+
+        def make(sim=sim, per_chain=per_chain):
+            remaining = [per_chain]
+
+            def tick() -> None:
+                remaining[0] -= 1
+                if remaining[0] > 0:
+                    sim.schedule(10, tick)
+
+            return tick
+
+        for _c in range(chains):
+            sim.schedule(10, make())
+        t0 = perf_counter()
+        sim.run()
+        dt = perf_counter() - t0
+        events = sim.events_fired
+        best = dt if best is None or dt < best else best
+    return {
+        "events": events,
+        "wall_s": best,
+        "events_per_sec": events / best,
+    }
+
+
+def bench_kernel_cancel(n_events: int = 120_000,
+                        repeats: int = 3) -> Dict[str, object]:
+    """Scheduling churn: every step also schedules-and-cancels an event,
+    with a watcher ticking every 256 fired events (threshold path)."""
+    from repro.sim.kernel import Simulator
+
+    best = None
+    fired = 0
+    ticks = 0
+    for _ in range(repeats):
+        sim = Simulator()
+        watcher_ticks = [0]
+
+        def watch(watcher_ticks=watcher_ticks) -> None:
+            watcher_ticks[0] += 1
+
+        sim.add_watcher(watch, every_events=256)
+        remaining = [n_events]
+
+        def tick(sim=sim, remaining=remaining) -> None:
+            sim.schedule(50, _noop).cancel()
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(10, tick)
+
+        sim.schedule(10, tick)
+        t0 = perf_counter()
+        sim.run()
+        dt = perf_counter() - t0
+        fired = sim.events_fired
+        ticks = watcher_ticks[0]
+        best = dt if best is None or dt < best else best
+    return {
+        "events": fired,
+        "watcher_ticks": ticks,
+        "wall_s": best,
+        "events_per_sec": fired / best,
+    }
+
+
+# ----------------------------------------------------------------------
+# network microbenchmark
+# ----------------------------------------------------------------------
+
+def bench_network_send(n_sends: int = 50_000,
+                       repeats: int = 3) -> Dict[str, object]:
+    """``Network.send`` throughput on the paper's 4x4 machine.
+
+    A fixed rotation of destinations (local L1s/L2 banks, remote chips,
+    memory controllers) exercises intra, inter and memory routes; the
+    endpoints are no-ops so only the interconnect layer is measured.
+    """
+    from repro.common.params import SystemParams
+    from repro.common.types import NodeId, NodeKind
+    from repro.interconnect.message import Message, MsgType
+    from repro.interconnect.network import Network
+    from repro.interconnect.traffic import TrafficMeter
+    from repro.sim.kernel import Simulator
+
+    best = None
+    total_bytes = 0
+    total_msgs = 0
+    for _ in range(repeats):
+        params = SystemParams()
+        sim = Simulator()
+        meter = TrafficMeter()
+        net = Network(sim, params, meter)
+        nodes = []
+        for chip in range(params.num_chips):
+            nodes += params.chip_l1s(chip) + params.chip_l2_banks(chip)
+        for chip in range(params.num_chips):
+            nodes.append(NodeId(NodeKind.MEM, chip))
+        for node in nodes:
+            net.register(node, _noop_handler)
+        src = nodes[0]
+        n_nodes = len(nodes)
+        msgs = [
+            Message(MsgType.TOK_DATA, src, nodes[i % n_nodes], addr=i * 64)
+            for i in range(n_sends)
+        ]
+        t0 = perf_counter()
+        for msg in msgs:
+            net.send(msg)
+        dt = perf_counter() - t0
+        total_bytes = sum(meter.bytes.values())
+        total_msgs = sum(meter.messages.values())
+        best = dt if best is None or dt < best else best
+    return {
+        "sends": n_sends,
+        "link_messages": total_msgs,
+        "link_bytes": total_bytes,
+        "wall_s": best,
+        "sends_per_sec": n_sends / best,
+    }
+
+
+def _noop_handler(_msg) -> None:
+    pass
+
+
+# ----------------------------------------------------------------------
+# end-to-end benchmark
+# ----------------------------------------------------------------------
+
+def bench_e2e_fig6_smoke(repeats: int = 3) -> Dict[str, object]:
+    """One real experiment cell: the Figure 6 smoke configuration.
+
+    Reports the cell's fired-event count, runtime and a SHA-256 over its
+    canonical metrics JSON — the same digest the determinism tests pin,
+    so *any* behavioural drift in the optimised hot path shows up here.
+    """
+    from repro.exp.runner import run_cell
+    from repro.exp.spec import Cell
+
+    cell = Cell(
+        protocol=E2E_PROTOCOL,
+        workload=E2E_WORKLOAD,
+        workload_kwargs={"refs_per_proc": E2E_REFS_PER_PROC},
+        seed=E2E_SEED,
+        max_events=120_000_000,
+    )
+    best = None
+    events = 0
+    runtime_ps = 0
+    digest = ""
+    for _ in range(repeats):
+        t0 = perf_counter()
+        res = run_cell(cell)
+        dt = perf_counter() - t0
+        events = res.raw.machine.sim.events_fired
+        runtime_ps = res.runtime_ps
+        blob = json.dumps(res.metrics(), sort_keys=True)
+        digest = hashlib.sha256(blob.encode()).hexdigest()
+        best = dt if best is None or dt < best else best
+    return {
+        "cell": f"{E2E_PROTOCOL}/{E2E_WORKLOAD}"
+                f"[refs={E2E_REFS_PER_PROC},seed={E2E_SEED}]",
+        "events": events,
+        "runtime_ps": runtime_ps,
+        "metrics_sha256": digest,
+        "wall_s": best,
+        "events_per_sec": events / best,
+    }
+
+
+# ----------------------------------------------------------------------
+# suite driver
+# ----------------------------------------------------------------------
+
+def run_suite(quick: bool = False,
+              progress=None) -> Dict[str, object]:
+    """Run every benchmark; ``quick`` shrinks sizes for CI smoke runs."""
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    repeats = 2 if quick else 3
+    note("kernel_chain ...")
+    chain = bench_kernel_chain(
+        n_events=50_000 if quick else 200_000, repeats=repeats)
+    note("kernel_cancel ...")
+    cancel = bench_kernel_cancel(
+        n_events=30_000 if quick else 120_000, repeats=repeats)
+    note("network_send ...")
+    send = bench_network_send(
+        n_sends=20_000 if quick else 50_000, repeats=repeats)
+    note("e2e_fig6_smoke ...")
+    e2e = bench_e2e_fig6_smoke(repeats=1 if quick else 3)
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "benchmarks": {
+            "kernel_chain": chain,
+            "kernel_cancel": cancel,
+            "network_send": send,
+            "e2e_fig6_smoke": e2e,
+        },
+    }
+
+
+# Deterministic (simulation-derived) fields per benchmark: two runs of the
+# suite must agree on these byte-for-byte.  Timing fields are excluded.
+DETERMINISTIC_FIELDS = {
+    "kernel_chain": ("events",),
+    "kernel_cancel": ("events", "watcher_ticks"),
+    "network_send": ("sends", "link_messages", "link_bytes"),
+    "e2e_fig6_smoke": ("cell", "events", "runtime_ps", "metrics_sha256"),
+}
+
+
+def deterministic_stats(report: Dict[str, object]) -> Dict[str, object]:
+    """Project a suite report onto its deterministic fields only."""
+    out: Dict[str, Dict[str, object]] = {}
+    benchmarks = report["benchmarks"]
+    for name, fields in DETERMINISTIC_FIELDS.items():
+        if name in benchmarks:
+            bench = benchmarks[name]
+            out[name] = {f: bench[f] for f in fields if f in bench}
+    return {"schema": SCHEMA, "benchmarks": out}
+
+
+def compare(current: Dict[str, object], baseline: Dict[str, object],
+            tolerance: float = 0.30) -> List[str]:
+    """Regressions in ``current`` vs ``baseline`` (same-schema reports).
+
+    Every ``*_per_sec`` timing field must be no more than ``tolerance``
+    below the baseline value; returns a human-readable list of failures
+    (empty = no regression).  Deterministic fields must match exactly —
+    for the microbenchmarks only when both reports used the same sizes
+    (``quick`` flag), for the end-to-end cell always (its configuration
+    never varies with ``quick``).
+    """
+    problems: List[str] = []
+    cur_b = current.get("benchmarks", {})
+    base_b = baseline.get("benchmarks", {})
+    same_sizes = current.get("quick") == baseline.get("quick")
+    for name, base in base_b.items():
+        cur = cur_b.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        for key, base_val in base.items():
+            if not key.endswith("_per_sec"):
+                continue
+            cur_val = cur.get(key, 0.0)
+            floor = base_val * (1.0 - tolerance)
+            if cur_val < floor:
+                problems.append(
+                    f"{name}.{key}: {cur_val:,.0f} < {floor:,.0f} "
+                    f"(baseline {base_val:,.0f} - {tolerance:.0%})"
+                )
+        if not same_sizes and name != "e2e_fig6_smoke":
+            continue
+        for field in DETERMINISTIC_FIELDS.get(name, ()):
+            if field in base and field in cur and base[field] != cur[field]:
+                problems.append(
+                    f"{name}.{field}: {cur[field]!r} != baseline "
+                    f"{base[field]!r} (determinism)"
+                )
+    return problems
+
+
+def attach_reference(report: Dict[str, object],
+                     reference: Dict[str, object],
+                     note: str = "") -> Dict[str, object]:
+    """Embed a pre-optimization reference run and per-benchmark speedups."""
+    ref_b = reference.get("benchmarks", {})
+    speedup: Dict[str, float] = {}
+    for name, cur in report["benchmarks"].items():
+        base = ref_b.get(name)
+        if not base:
+            continue
+        for key in cur:
+            if key.endswith("_per_sec") and key in base and base[key]:
+                speedup[name] = round(cur[key] / base[key], 3)
+    report["reference"] = {"note": note, "benchmarks": ref_b}
+    report["speedup"] = speedup
+    return report
+
+
+def render(report: Dict[str, object]) -> str:
+    """Human-readable table of a suite report."""
+    lines = [f"{'benchmark':18s} {'throughput':>16s} {'wall':>9s}  detail"]
+    for name, bench in report["benchmarks"].items():
+        rate_key = next(k for k in bench if k.endswith("_per_sec"))
+        unit = rate_key[:-len("_per_sec")]
+        detail = " ".join(
+            f"{f}={bench[f]}" for f in DETERMINISTIC_FIELDS.get(name, ())
+            if f in bench and f != "cell"
+        )
+        lines.append(
+            f"{name:18s} {bench[rate_key]:>10,.0f} {unit + '/s':<9s}"
+            f" {bench['wall_s']:>8.3f}s  {detail}"
+        )
+    speedup = report.get("speedup")
+    if speedup:
+        pretty = ", ".join(f"{k} {v:.2f}x" for k, v in speedup.items())
+        lines.append(f"speedup vs reference: {pretty}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the full report JSON (BENCH_perf.json)")
+    parser.add_argument("--stats-out", default=None, metavar="PATH",
+                        help="write only the deterministic stats "
+                             "(byte-identical across runs)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_perf.json; "
+                             "exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed throughput drop vs baseline "
+                             "(default 0.30)")
+    parser.add_argument("--merge-reference", default=None, metavar="REF",
+                        help="embed a reference report (pre-optimization "
+                             "run) plus speedups into --out")
+    parser.add_argument("--reference-note", default="",
+                        help="provenance note stored with --merge-reference")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_perf",
+        description="kernel/network/end-to-end performance suite",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_from_args(args)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    report = run_suite(quick=args.quick,
+                       progress=lambda msg: print(f"... {msg}"))
+    if args.merge_reference:
+        with open(args.merge_reference) as fh:
+            reference = json.load(fh)
+        attach_reference(report, reference, note=args.reference_note)
+    print()
+    print(render(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.stats_out:
+        with open(args.stats_out, "w") as fh:
+            json.dump(deterministic_stats(report), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.stats_out}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        problems = compare(report, baseline, tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via bench_perf.py
+    sys.exit(main())

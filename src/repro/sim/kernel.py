@@ -5,6 +5,30 @@ order, so two events scheduled for the same picosecond fire in the order
 they were scheduled.  Everything else in the simulator — networks, cache
 controllers, processor threads — is built as callbacks on this kernel.
 
+Hot-path design
+---------------
+
+The kernel is the innermost loop of every experiment, so the per-event
+cost is kept to a handful of C-level operations:
+
+* **Heap entries are flat ``[time, seq, fn, args]`` records.**
+  :class:`Event` subclasses ``list`` so ``heapq`` compares entries with
+  the C ``list`` comparison (time, then the unique sequence number —
+  callables are never reached) instead of a Python-level ``__lt__``.
+* **Cancellation is lazy.**  ``Event.cancel`` blanks the callback slot
+  and fixes the live-event count; the dead entry stays in the heap and
+  is discarded when it surfaces.  The common no-cancel path never pays
+  for cancellation support beyond one ``is None`` check per event.
+* **Watchers are threshold-driven.**  Instead of a per-event
+  ``events_fired % every`` scan over every registered watcher, the
+  kernel keeps the next due cumulative event count per watcher and a
+  single ``_watch_next`` minimum; the inner loop does one integer
+  compare per event.
+* **Profiler/tracer checks are hoisted.**  The profiler is read once per
+  :meth:`Simulator.run` call (attach observers before running), and the
+  bounds (``until`` / ``max_events``) collapse to integer compares
+  against sentinels.
+
 Observability hooks (both ``None`` by default, and free when unset):
 
 * ``sim.tracer`` — a :class:`repro.obs.trace.Tracer`; instrumented
@@ -12,58 +36,88 @@ Observability hooks (both ``None`` by default, and free when unset):
   emit structured trace events only when it is set.
 * ``sim.profiler`` — a :class:`repro.obs.profile.KernelProfiler`; when
   set, the run loop times every callback with ``perf_counter_ns`` and
-  reports it via ``profiler.record(fn, wall_ns)``.
+  reports it via ``profiler.record(fn, wall_ns)``.  Attach it before
+  calling :meth:`Simulator.run` — the run loop samples the hook once at
+  entry.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from time import perf_counter_ns
 from typing import Any, Callable, Optional
 
 from repro.common.errors import DeadlockError
 
+_NEVER = float("inf")  # sentinel: compares greater than any event count/time
 
-class Event:
-    """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
+class Event(list):
+    """Handle for a scheduled callback; supports cancellation.
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-        self.sim: Optional["Simulator"] = None  # set while pending
+    The event *is* its own heap entry: a ``[time_ps, seq, fn, args]``
+    list (plus a ``sim`` back-reference for the live-event count), so
+    scheduling allocates exactly one record and the heap orders entries
+    with C-level list comparison.  ``seq`` is unique per simulator, so
+    comparisons are always resolved by ``(time, seq)`` and never touch
+    the callback.
+    """
+
+    __slots__ = ("sim",)
+
+    # No __init__ override: entries are built with the C-level list
+    # constructor (``Event((time, seq, fn, args))``) and ``schedule``
+    # assigns the ``sim`` back-reference — one Python-level call fewer
+    # per scheduled event.
+
+    @property
+    def time(self) -> int:
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event can no longer fire (cancelled or fired)."""
+        return self[2] is None
 
     def cancel(self) -> None:
-        """Prevent the event from firing (no-op if it already fired)."""
-        if self.cancelled:
+        """Prevent the event from firing (no-op if it already fired).
+
+        Lazy deletion: the heap entry is not removed, only its callback
+        slot is blanked — the run loop discards blank entries as they
+        surface.  The simulator's live-event count is fixed up here, and
+        the blank slot makes a second ``cancel`` (or a cancel after
+        firing — the run loop blanks the slot too) an exact no-op.
+        """
+        if self[2] is None:
             return
-        self.cancelled = True
-        # Keep the scheduler's live-event count exact without scanning the
-        # queue: the back-reference is cleared once the event pops, so a
-        # cancel after firing cannot double-decrement.
+        self[2] = None
+        self[3] = None  # drop the args reference promptly
         sim = self.sim
         if sim is not None:
             sim._pending -= 1
             self.sim = None
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
 
 class Simulator:
     """Deterministic discrete-event scheduler with picosecond time."""
 
+    __slots__ = (
+        "_queue", "_now", "_seq", "_pending", "events_fired",
+        "_watchers", "_watch_next", "tracer", "profiler",
+    )
+
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list = []
         self._now: int = 0
         self._seq: int = 0
         self._pending: int = 0
         self.events_fired: int = 0
-        self._watchers: list = []  # (every_events, fn) pairs
+        self._watchers: list = []  # [every_events, fn, next_due] records
+        self._watch_next = _NEVER  # min next_due over watchers
         self.tracer = None  # repro.obs.trace.Tracer (attach() sets this)
         self.profiler = None  # repro.obs.profile.KernelProfiler
 
@@ -76,10 +130,30 @@ class Simulator:
         simulation is actually making event progress.  A watcher that
         raises aborts the run with its exception — this is how liveness
         watchdogs and invariant monitors report violations.
+
+        The cadence is anchored to the *cumulative* ``events_fired``
+        count: a watcher with ``every_events=4`` fires at counts 4, 8,
+        12, ... no matter how many ``run()`` calls those counts span.
+        (Register watchers between runs or from another watcher; a plain
+        event callback registering one mid-run anchors to the count as of
+        the last watcher flush, since the run loop counts in a local.)
         """
         if every_events < 1:
             raise ValueError(f"every_events must be >= 1, got {every_events}")
-        self._watchers.append((every_events, fn))
+        fired = self.events_fired
+        next_due = fired - (fired % every_events) + every_events
+        self._watchers.append([every_events, fn, next_due])
+        if next_due < self._watch_next:
+            self._watch_next = next_due
+
+    def _fire_due_watchers(self) -> None:
+        """Run watchers whose threshold was reached, in registration order."""
+        fired = self.events_fired
+        for record in self._watchers:
+            if fired >= record[2]:
+                record[2] += record[0]
+                record[1]()
+        self._watch_next = min(record[2] for record in self._watchers)
 
     @property
     def now(self) -> int:
@@ -90,11 +164,11 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay_ps`` picoseconds; returns a handle."""
         if delay_ps < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay_ps})")
-        self._seq += 1
-        event = Event(self._now + delay_ps, self._seq, fn, args)
+        self._seq = seq = self._seq + 1
+        event = Event((self._now + delay_ps, seq, fn, args))
         event.sim = self
         self._pending += 1
-        heapq.heappush(self._queue, event)
+        heappush(self._queue, event)
         return event
 
     def schedule_at(self, time_ps: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -144,35 +218,80 @@ class Simulator:
         max_events: Optional[int],
         expect_drain: bool,
     ) -> int:
-        fired = 0
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
-                self._now = until
+        # Inner loop: everything variable is hoisted into locals, bounds
+        # become integer compares against +inf sentinels, and the only
+        # per-event costs beyond the heap pop are the blank-slot check
+        # (lazy cancellation) and the watcher threshold compare.
+        #
+        # ``events_fired`` is tracked in a local (``total``) and written
+        # back before watchers fire and in the ``finally`` — watchers are
+        # the only mid-run readers.  ``_pending`` stays live per event:
+        # callbacks legitimately poll ``sim.pending``.
+        #
+        # The common case — no clock bound, no profiler: every untraced
+        # workload run — gets its own lean loop with no per-event peek
+        # and no profiler check; everything else takes the generic loop.
+        queue = self._queue
+        pop = heappop
+        profiler = self.profiler
+        total = self.events_fired
+        end = total + (_NEVER if max_events is None else max_events)
+        try:
+            if until is None and profiler is None:
+                while queue:
+                    event = pop(queue)
+                    fn = event[2]
+                    if fn is None:
+                        continue  # cancelled: uncounted by Event.cancel
+                    event[2] = None  # mark fired: late cancel() is a no-op
+                    self._pending -= 1
+                    self._now = event[0]
+                    fn(*event[3])
+                    total += 1
+                    if total >= self._watch_next:
+                        self.events_fired = total
+                        self._fire_due_watchers()
+                    if total >= end:
+                        if expect_drain:
+                            raise DeadlockError(
+                                f"simulation did not finish within "
+                                f"{max_events} events (t={self._now} ps); "
+                                f"likely protocol livelock"
+                            )
+                        return self._now
                 return self._now
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue  # already uncounted by Event.cancel
-            event.sim = None
-            self._pending -= 1
-            self._now = event.time
-            profiler = self.profiler
-            if profiler is not None:
-                start_ns = perf_counter_ns()
-                event.fn(*event.args)
-                profiler.record(event.fn, perf_counter_ns() - start_ns)
-            else:
-                event.fn(*event.args)
-            fired += 1
-            self.events_fired += 1
-            if self._watchers:
-                for every, watcher in self._watchers:
-                    if self.events_fired % every == 0:
-                        watcher()
-            if max_events is not None and fired >= max_events:
-                if expect_drain:
-                    raise DeadlockError(
-                        f"simulation did not finish within {max_events} events "
-                        f"(t={self._now} ps); likely protocol livelock"
-                    )
-                return self._now
-        return self._now
+            bound = _NEVER if until is None else until
+            while queue:
+                event = queue[0]
+                when = event[0]
+                if when > bound:
+                    self._now = until
+                    return until
+                pop(queue)
+                fn = event[2]
+                if fn is None:
+                    continue  # cancelled: already uncounted by Event.cancel
+                event[2] = None  # mark fired so a late cancel() is a no-op
+                self._pending -= 1
+                self._now = when
+                if profiler is None:
+                    fn(*event[3])
+                else:
+                    start_ns = perf_counter_ns()
+                    fn(*event[3])
+                    profiler.record(fn, perf_counter_ns() - start_ns)
+                total += 1
+                if total >= self._watch_next:
+                    self.events_fired = total
+                    self._fire_due_watchers()
+                if total >= end:
+                    if expect_drain:
+                        raise DeadlockError(
+                            f"simulation did not finish within {max_events} "
+                            f"events (t={self._now} ps); likely protocol "
+                            f"livelock"
+                        )
+                    return self._now
+            return self._now
+        finally:
+            self.events_fired = total

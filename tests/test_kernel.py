@@ -143,3 +143,111 @@ def test_watcher_cadence_spans_multiple_runs():
     sim.run()
     assert sim.events_fired == 12
     assert ticks == [4, 8, 12]
+
+
+def test_watcher_cadence_does_not_drift_across_bounded_runs():
+    # The threshold bookkeeping must behave exactly like the old
+    # ``events_fired % every`` check even when the cumulative count is
+    # chopped into many run() calls by ``until`` bounds that stop the
+    # clock mid-window.
+    sim = Simulator()
+    ticks = []
+    sim.add_watcher(lambda: ticks.append(sim.events_fired), every_events=4)
+    for delay in range(1, 11):  # one event per ps, t=1..10
+        sim.schedule(delay, lambda: None)
+    sim.run(until=3)  # 3 events: inside the first window
+    assert ticks == []
+    sim.run(until=5)  # 5 events total: crossed 4
+    assert ticks == [4]
+    sim.run(until=7)  # 7 events: inside the second window
+    assert ticks == [4]
+    sim.run()  # 10 events: crossed 8
+    assert sim.events_fired == 10
+    assert ticks == [4, 8]
+
+
+def test_watcher_cadence_with_max_events_bounds():
+    sim = Simulator()
+    ticks = []
+    sim.add_watcher(lambda: ticks.append(sim.events_fired), every_events=3)
+    for delay in range(1, 9):
+        sim.schedule(delay, lambda: None)
+    sim.run(max_events=2)
+    sim.run(max_events=2)  # 4 events total: crossed 3
+    assert ticks == [3]
+    sim.run()
+    assert sim.events_fired == 8
+    assert ticks == [3, 6]
+
+
+def test_multiple_watchers_fire_at_their_own_cadences():
+    sim = Simulator()
+    ticks = []
+    sim.add_watcher(lambda: ticks.append(("a", sim.events_fired)), every_events=2)
+    sim.add_watcher(lambda: ticks.append(("b", sim.events_fired)), every_events=3)
+    for delay in range(1, 7):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    # Both due at 6: registration order breaks the tie.
+    assert ticks == [
+        ("a", 2), ("b", 3), ("a", 4), ("a", 6), ("b", 6),
+    ]
+
+
+def test_watcher_added_between_runs_joins_cumulative_cadence():
+    sim = Simulator()
+    ticks = []
+    for delay in range(1, 6):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    assert sim.events_fired == 5
+    # Registered at count 5 with every=4: the next multiple is 8, not 9.
+    sim.add_watcher(lambda: ticks.append(sim.events_fired), every_events=4)
+    for delay in range(1, 6):
+        sim.schedule(delay, lambda: None)
+    sim.run()
+    assert sim.events_fired == 10
+    assert ticks == [8]
+
+
+def test_watcher_exception_leaves_event_count_consistent():
+    sim = Simulator()
+
+    def boom():
+        raise RuntimeError("invariant violated")
+
+    sim.add_watcher(boom, every_events=3)
+    for delay in range(1, 6):
+        sim.schedule(delay, lambda: None)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert sim.events_fired == 3  # counted up to and including the trigger
+
+
+def test_watcher_every_events_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.add_watcher(lambda: None, every_events=0)
+
+
+def test_max_events_is_per_run_call():
+    sim = Simulator()
+    for delay in range(1, 6):
+        sim.schedule(delay, lambda: None)
+    sim.run(max_events=2)
+    assert sim.events_fired == 2
+    sim.run(max_events=2)
+    assert sim.events_fired == 4
+    sim.run()
+    assert sim.events_fired == 5
+
+
+def test_cancelled_event_is_marked_and_pending_drops():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    assert not event.cancelled
+    event.cancel()
+    assert event.cancelled
+    assert sim.pending == 0
+    sim.run()
+    assert sim.events_fired == 0

@@ -143,3 +143,51 @@ def test_same_cycle_sends_keep_fifo_order_on_one_link():
     arrivals = [link.traverse(0, 0) for _ in range(5)]
     assert arrivals == sorted(arrivals)
     assert len(set(arrivals)) == 5  # strictly increasing, no ties to resolve
+
+
+def test_serialization_times_pinned_for_table3_links():
+    """Regression pins for the integer serialization arithmetic.
+
+    These are the exact delays every experiment's timing is built from
+    (Table 3 bandwidths x Section 8 message sizes); any change here
+    shifts *all* runtimes and breaks byte-identical reproduction.
+    """
+    from repro.interconnect.network import Link
+
+    intra = Link("intra", Scope.INTRA, 0, 64.0)  # 64 GB/s on-chip
+    inter = Link("inter", Scope.INTER, 0, 16.0)  # 16 GB/s global
+    assert intra.serialization_ps(8) == 125  # control message
+    assert intra.serialization_ps(72) == 1125  # data message
+    assert inter.serialization_ps(8) == 500
+    assert inter.serialization_ps(72) == 4500
+
+
+def test_serialization_is_exact_ceiling_not_float_round():
+    from repro.interconnect.network import Link
+
+    # 1 byte at 16 bytes/ns is 62.5 ps: float round() banker's-rounds
+    # down to 62; the link must charge the full ceiling, 63 ps.
+    link = Link("x", Scope.INTRA, 0, 16.0)
+    assert link.serialization_ps(1) == 63
+    # Inexact quotient: 8000/3 ps must ceil to 2667.
+    assert Link("y", Scope.INTRA, 0, 3.0).serialization_ps(8) == 2667
+    # Fractional bandwidths expand to an exact integer ratio.
+    assert Link("z", Scope.INTRA, 0, 2.5).serialization_ps(8) == 3200
+
+
+def test_serialization_clamped_to_one_ps():
+    from repro.interconnect.network import Link
+
+    link = Link("x", Scope.INTRA, 0, 1e9)
+    assert link.serialization_ps(0) == 1
+    assert link.serialization_ps(8) == 1
+
+
+def test_traverse_matches_serialization_ps():
+    from repro.interconnect.network import Link
+
+    link = Link("x", Scope.INTRA, ns(2), 16.0)
+    assert link.traverse(0, 72) == link.serialization_ps(72) + ns(2)
+    # Back-to-back messages queue by exactly the serialization delay.
+    second = link.traverse(0, 72)
+    assert second == 2 * link.serialization_ps(72) + ns(2)

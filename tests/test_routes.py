@@ -1,0 +1,141 @@
+"""Route-cache tests: the precomputed table vs the `_path` branch ladder.
+
+``Network._build_routes`` precomputes ``(src, dst) -> tuple[Link, ...]``
+for every node pair at construction so ``send`` never re-runs the
+routing branch ladder per message.  The ladder (``Network._path``) stays
+in the code as the executable reference; these tests exhaustively replay
+it against the cache on 1-chip, 2-chip and the paper's 4x4 machine —
+including the IFACE/MEM/ARB corner cases the ladder special-cases.
+"""
+
+import pytest
+
+from repro.common.params import SystemParams
+from repro.common.types import NodeId, NodeKind
+from repro.interconnect.message import Message, MsgType
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import TrafficMeter
+from repro.sim.kernel import Simulator
+
+CONFIGS = {
+    "1-chip": dict(num_chips=1, procs_per_chip=4),
+    "2-chip": dict(num_chips=2, procs_per_chip=2),
+    "4x4": dict(num_chips=4, procs_per_chip=4),
+}
+
+
+def build(**kwargs):
+    params = SystemParams(**kwargs)
+    return Network(Simulator(), params, TrafficMeter()), params
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_route_cache_matches_path_ladder_for_every_pair(config):
+    net, params = build(**CONFIGS[config])
+    nodes = net._all_nodes()
+    assert len(nodes) == len(set(nodes))  # enumeration has no duplicates
+    for src in nodes:
+        for dst in nodes:
+            cached = net._routes[(src, dst)]
+            assert cached == tuple(net._path(src, dst)), (src, dst)
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_route_cache_covers_exactly_the_node_pair_square(config):
+    net, _params = build(**CONFIGS[config])
+    nodes = net._all_nodes()
+    assert len(net._routes) == len(nodes) ** 2
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_all_machine_endpoints_are_in_the_enumeration(config):
+    net, params = build(**CONFIGS[config])
+    nodes = set(net._all_nodes())
+    for chip in range(params.num_chips):
+        for node in params.chip_l1s(chip) + params.chip_l2_banks(chip):
+            assert node in nodes
+        assert params.iface_of(chip) in nodes
+        assert NodeId(NodeKind.MEM, chip) in nodes
+        assert NodeId(NodeKind.ARB, chip) in nodes
+
+
+def test_self_route_is_empty():
+    net, params = build(**CONFIGS["4x4"])
+    for node in net._all_nodes():
+        assert net._routes[(node, node)] == ()
+
+
+def test_arbiter_and_memory_colocated_route_is_empty():
+    # The persistent-request arbiter sits at the memory controller site:
+    # messages between them cross no links (the ladder's first corner).
+    net, params = build(**CONFIGS["4x4"])
+    for chip in range(params.num_chips):
+        mem = NodeId(NodeKind.MEM, chip)
+        arb = NodeId(NodeKind.ARB, chip)
+        assert net._routes[(mem, arb)] == ()
+        assert net._routes[(arb, mem)] == ()
+
+
+def test_cross_chip_arbiter_route_uses_mem_and_inter_links():
+    net, params = build(**CONFIGS["4x4"])
+    arb0 = NodeId(NodeKind.ARB, 0)
+    mem1 = NodeId(NodeKind.MEM, 1)
+    names = [link.name for link in net._routes[(arb0, mem1)]]
+    assert names == ["mem-in:0", "inter:0", "mem-out:1"]
+
+
+def test_iface_egress_skips_its_own_intra_link():
+    # A message leaving from the chip interface is already at the global
+    # network boundary: no intra hop on the source side.
+    net, params = build(**CONFIGS["4x4"])
+    iface0 = params.iface_of(0)
+    l1_remote = params.l1d_of(params.procs_per_chip)  # first proc on chip 1
+    names = [link.name for link in net._routes[(iface0, l1_remote)]]
+    assert names[0] == "inter:0"
+    # ... and a message *to* an interface stops at the inter link.
+    l1_local = params.l1d_of(0)
+    names = [link.name for link in net._routes[(l1_local, params.iface_of(1))]]
+    assert names[-1] == "inter:0"
+
+
+def test_send_uses_cached_route(monkeypatch):
+    # After construction, the hot path must never fall back to the
+    # branch ladder for machine nodes.
+    net, params = build(**CONFIGS["2-chip"])
+    sim = net.sim
+
+    def fail(src, dst):  # pragma: no cover - failure path
+        raise AssertionError(f"_path re-run for ({src}, {dst})")
+
+    monkeypatch.setattr(net, "_path", fail)
+    src, dst = params.l1d_of(0), params.l1d_of(params.procs_per_chip)
+    seen = []
+    net.register(dst, seen.append)
+    net.send(Message(MsgType.TOK_ACK, src, dst, 0))
+    sim.run()
+    assert len(seen) == 1
+
+
+def test_unknown_pair_falls_back_to_ladder_lazily():
+    # Ad-hoc endpoints outside the machine enumeration still route: the
+    # ladder runs once and the result is memoized.
+    net, params = build(**CONFIGS["2-chip"])
+    sim = net.sim
+    src = NodeId(NodeKind.MEM, 0)
+    dst = NodeId(NodeKind.MEM, 1)
+    del net._routes[(src, dst)]  # simulate a pair outside the enumeration
+    seen = []
+    net.register(dst, seen.append)
+    net.send(Message(MsgType.TOK_ACK, src, dst, 0))
+    sim.run()
+    assert len(seen) == 1
+    assert (src, dst) in net._routes  # memoized for the next send
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_message_size_table_matches_payload_rule(config):
+    net, params = build(**CONFIGS[config])
+    for mtype in MsgType:
+        expected = (params.data_msg_bytes if mtype.has_data
+                    else params.control_msg_bytes)
+        assert net._msg_size[mtype] == expected
