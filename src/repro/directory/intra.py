@@ -184,7 +184,9 @@ class IntraDirL2Controller:
         self._ext[addr] = ext
         if owner is not None:
             self._send(MsgType.DIR_RECALL, owner, addr, extra="inv")
-        for l1 in targets:
+        # Sorted fan-out: NodeId hashes are randomized per process, so raw
+        # set order would reorder invalidations (and thus the event stream).
+        for l1 in sorted(targets):
             self._send(MsgType.DIR_INV, l1, addr, requestor=self.node)
 
     def _evictable(self, addr: int, line: L2Line) -> bool:
@@ -291,7 +293,7 @@ class IntraDirL2Controller:
 
     def _grant_write_locally(self, addr: int, line: L2Line, p: NodeId) -> None:
         invs = line.sharers - {p}
-        for sharer in invs:
+        for sharer in sorted(invs):
             self._send(MsgType.DIR_INV, sharer, addr, requestor=p)
         if line.owner_l1 is not None:
             # Forward to the owner (possibly p itself after a stale record).
@@ -476,7 +478,9 @@ class IntraDirL2Controller:
         self._ext[addr] = ExtTx(
             kind="inv", requestor=ack_to, carry_acks=0, need=len(targets)
         )
-        for l1 in targets:
+        # Sorted fan-out: NodeId hashes are randomized per process, so raw
+        # set order would reorder invalidations (and thus the event stream).
+        for l1 in sorted(targets):
             self._send(MsgType.DIR_INV, l1, addr, requestor=self.node)
 
     def _ext_take_all(
@@ -514,7 +518,9 @@ class IntraDirL2Controller:
         self._ext[addr] = ext
         if owner is not None:
             self._send(MsgType.DIR_RECALL, owner, addr, extra="inv")
-        for l1 in targets:
+        # Sorted fan-out: NodeId hashes are randomized per process, so raw
+        # set order would reorder invalidations (and thus the event stream).
+        for l1 in sorted(targets):
             self._send(MsgType.DIR_INV, l1, addr, requestor=self.node)
 
     def _ext_response(self, addr: int, data: Optional[int], dirty: bool) -> None:

@@ -40,7 +40,9 @@ class PerfectGlobalL2:
 
     def write(self, addr: int, value: int, writer: "PerfectL1Controller") -> None:
         self.image.write(addr, value)
-        for l1 in self._copies.get(addr, set()).copy():
+        # Sorted by NodeId so magic invalidations land in a reproducible
+        # order (raw set order is hash-randomized per process).
+        for l1 in sorted(self._copies.get(addr, set()), key=lambda c: c.node):
             if l1 is not writer:
                 l1.magic_invalidate(addr)
                 self._copies[addr].discard(l1)

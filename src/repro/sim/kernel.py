@@ -44,7 +44,9 @@ Observability hooks (both ``None`` by default, and free when unset):
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from time import perf_counter_ns
+# Sanctioned impurity: the opt-in profiler measures host time; it never
+# feeds simulated state.  See docs/static-analysis.md.
+from time import perf_counter_ns  # staticcheck: ignore[purity-import]
 from typing import Any, Callable, Optional
 
 from repro.common.errors import DeadlockError

@@ -1,0 +1,39 @@
+"""Top-level driver: load the tree, run the passes, report.
+
+Used by ``python -m repro lint`` and directly by the test suite (which
+feeds fixture files through ``extra_files`` to seed violations without
+touching the real tree).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.staticcheck.base import PASSES, Pass
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.source import SourceFile, load_tree
+
+
+def default_root() -> Path:
+    """The ``repro`` package directory this module was imported from."""
+    return Path(__file__).resolve().parents[1]
+
+
+def run_passes(
+    root: Optional[Path] = None,
+    extra_files: Optional[List[Path]] = None,
+    passes: Optional[Sequence[Pass]] = None,
+    files: Optional[List[SourceFile]] = None,
+) -> Tuple[List[Finding], List[str]]:
+    """Run ``passes`` (default: all four) over the package at ``root``.
+
+    Returns ``(findings, pass_ids)`` with findings globally sorted.
+    """
+    if files is None:
+        files = load_tree(root or default_root(), extra_files=extra_files)
+    selected = list(passes) if passes is not None else list(PASSES)
+    findings: List[Finding] = []
+    for p in selected:
+        findings.extend(p.run(files))
+    return sorted(findings), [p.id for p in selected]

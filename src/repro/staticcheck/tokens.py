@@ -1,0 +1,136 @@
+"""Token-conservation discipline (rule ``token-mutation``).
+
+Token coherence's safety argument rests on one invariant: tokens are
+conserved — T per block, moved but never created or destroyed.  The
+simulator concentrates every token-count change in a tiny ledger:
+``TokenEntry.absorb``/``take`` (caches) and ``TokenMemController._set``
+(the memory-side count).  The verification harness audits conservation
+*dynamically*; this pass closes the loop statically by flagging any
+token-count store outside the ledger, where a stray ``entry.tokens += 1``
+would mint tokens the auditor only catches at runtime, on the configs a
+test happens to run.
+
+Flagged outside approved contexts:
+
+* assignment/augmented-assignment to a ``.tokens`` attribute (including
+  in-flight ``msg.tokens`` rewrites);
+* assignment to a ``.owner`` attribute of a token entry;
+* stores into a ``self._tokens[...]`` subscript.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.staticcheck.base import Pass, module_in
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.source import SourceFile
+
+#: Packages holding full-size protocol state (the verification models
+#: manipulate token *tuples* functionally and are exempt by scope).
+SCOPE = (
+    "repro.sim",
+    "repro.core",
+    "repro.directory",
+    "repro.interconnect",
+    "repro.snooping",
+    "repro.perfect",
+)
+
+#: (class, method) pairs allowed to touch token state.  ``None`` method
+#: means every method of the class (the ledger type itself).
+APPROVED: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("TokenEntry", None),
+    ("TokenMemController", "__init__"),
+    ("TokenMemController", "_set"),
+)
+
+_TOKEN_ATTRS = {"tokens", "owner"}
+
+
+def _is_approved(class_name: Optional[str], method: Optional[str]) -> bool:
+    for cls, meth in APPROVED:
+        if class_name == cls and (meth is None or method == meth):
+            return True
+    return False
+
+
+class TokenDisciplinePass(Pass):
+    id = "tokens"
+    description = "token counts mutate only through the approved ledger"
+    rules = ("token-mutation",)
+
+    def check(self, files: List[SourceFile]) -> List[Finding]:
+        findings: List[Finding] = []
+        for src in files:
+            if src.module != "<fixture>" and not module_in(src, SCOPE):
+                continue
+            findings.extend(self._scan(src))
+        return findings
+
+    def _scan(self, src: SourceFile) -> List[Finding]:
+        out: List[Finding] = []
+        for ctx_class, ctx_method, stmt in _walk_with_context(src.tree):
+            if _is_approved(ctx_class, ctx_method):
+                continue
+            targets: List[ast.AST] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for tgt in targets:
+                label = _token_store(tgt)
+                if label is None:
+                    continue
+                where = ctx_class or src.module
+                out.append(
+                    self.finding(
+                        src, stmt, "token-mutation",
+                        f"token state store ({label}) in {where}."
+                        f"{ctx_method or '<module>'} bypasses the ledger — "
+                        f"route it through TokenEntry.absorb/take or "
+                        f"TokenMemController._set",
+                    )
+                )
+        return out
+
+
+def _token_store(tgt: ast.AST) -> Optional[str]:
+    """A short label if ``tgt`` is a token-state store, else ``None``."""
+    if isinstance(tgt, ast.Attribute) and tgt.attr in _TOKEN_ATTRS:
+        base = tgt.value
+        base_name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", "?")
+        return f"{base_name}.{tgt.attr}"
+    if isinstance(tgt, ast.Subscript):
+        value = tgt.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "_tokens"
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            return "self._tokens[...]"
+    if isinstance(tgt, (ast.Tuple, ast.List)):
+        for elt in tgt.elts:
+            label = _token_store(elt)
+            if label is not None:
+                return label
+    return None
+
+
+def _walk_with_context(tree: ast.Module):
+    """Yield (class_name, method_name, assign_stmt) for every store."""
+
+    def visit(node: ast.AST, cls: Optional[str], meth: Optional[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name, None)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from visit(child, cls, child.name)
+            else:
+                if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    yield cls, meth, child
+                yield from visit(child, cls, meth)
+
+    yield from visit(tree, None, None)

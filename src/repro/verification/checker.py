@@ -76,6 +76,22 @@ class CheckResult:
     elapsed_s: float
     liveness_checked: bool
 
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic projection: everything except wall time.
+
+        ``elapsed_s`` is a measurement of the checking machine, not of
+        the model, so it is excluded from any output that gets compared
+        across runs (result caching, CI diffs, pinned-count tests).
+        """
+        return {
+            "model": self.model,
+            "states": self.states,
+            "transitions": self.transitions,
+            "diameter": self.diameter,
+            "quiescent_states": self.quiescent_states,
+            "liveness_checked": self.liveness_checked,
+        }
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{self.model}: {self.states} states, {self.transitions} transitions, "
@@ -94,7 +110,7 @@ def check(
     trace for safety violations and deadlocks, and with a culprit state
     for liveness violations.
     """
-    start = time.time()
+    start = time.perf_counter()
     parents: Dict[State, Optional[Tuple[State, str]]] = {}
     depth: Dict[State, int] = {}
     successors: Dict[State, List[State]] = {}
@@ -151,7 +167,7 @@ def check(
         transitions=transitions,
         diameter=diameter,
         quiescent_states=quiescent,
-        elapsed_s=time.time() - start,
+        elapsed_s=time.perf_counter() - start,
         liveness_checked=check_liveness,
     )
 

@@ -122,7 +122,9 @@ class DirFlatModel(Model):
         caches, directory, mem, net, wants = state
         dstate, owner, sharers, busy, queue = directory
         out = []
-        for msg in set(net):
+        # dict.fromkeys: dedup like set() but in net's sorted-by-repr order,
+        # so transition enumeration is reproducible across processes.
+        for msg in dict.fromkeys(net):
             kind = msg[0]
             if kind in ("gets", "getx", "wb_req"):
                 if busy:
@@ -204,7 +206,9 @@ class DirFlatModel(Model):
     def _cache_deliveries(self, state):
         caches, directory, mem, net, wants = state
         out = []
-        for msg in set(net):
+        # dict.fromkeys: dedup like set() but in net's sorted-by-repr order,
+        # so transition enumeration is reproducible across processes.
+        for msg in dict.fromkeys(net):
             kind = msg[0]
             if kind in ("gets", "getx", "unblock", "wb_req", "wb_data"):
                 continue  # directory-side messages

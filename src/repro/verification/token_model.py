@@ -100,8 +100,8 @@ class _TokenBase(Model):
                 ctok, cown, cval, cdata = cache
                 if ctok == 0:
                     continue
-                for give in ({ctok} if self.coarse_sends else {1, ctok}):
-                    for with_owner in ({False, cown} if give < ctok else {cown}):
+                for give in ((ctok,) if self.coarse_sends else sorted({1, ctok})):
+                    for with_owner in (sorted({False, cown}) if give < ctok else (cown,)):
                         ncache, value = _take(cache, give, with_owner)
                         if with_owner and value is None:
                             continue
@@ -118,7 +118,7 @@ class _TokenBase(Model):
             # Memory responds (nondeterministically) with one or all tokens.
             mtok, mown, mval = mem
             if mtok > 0:
-                for give in ({mtok} if self.coarse_sends else {1, mtok}):
+                for give in ((mtok,) if self.coarse_sends else sorted({1, mtok})):
                     with_owner = mown and give == mtok
                     for dst in range(self.n):
                         msg = ("tok", dst, give, with_owner,
@@ -129,7 +129,9 @@ class _TokenBase(Model):
                             make(state, mem=nmem, net=_add(net, msg)),
                         ))
         # Deliveries.
-        for msg in set(net):
+        # dict.fromkeys: dedup like set() but in net's sorted-by-repr order,
+        # so transition enumeration is reproducible across processes.
+        for msg in dict.fromkeys(net):
             if msg[0] != "tok":
                 continue
             _kind, dst, tokens, owner, value = msg
@@ -313,7 +315,9 @@ class TokenDstModel(_TokenBase):
                 ))
 
         # Deliver activates/deactivates (per-site message mode only).
-        for msg in set(net):
+        # dict.fromkeys: dedup like set() but in net's sorted-by-repr order,
+        # so transition enumeration is reproducible across processes.
+        for msg in dict.fromkeys(net):
             if msg[0] == "act":
                 _k, site, proc, read = msg
                 ntables = list(tables)
@@ -497,7 +501,9 @@ class TokenArbModel(_TokenBase):
                             break
 
         # Per-site activation delivery (message mode only).
-        for msg in set(net):
+        # dict.fromkeys: dedup like set() but in net's sorted-by-repr order,
+        # so transition enumeration is reproducible across processes.
+        for msg in dict.fromkeys(net):
             if msg[0] == "act":
                 _k, site, proc, read = msg
                 nsa = site_act[:site] + ((proc, read),) + site_act[site + 1:]
