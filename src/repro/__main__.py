@@ -14,6 +14,8 @@ Commands:
 * ``lint``    — run the protocol-aware static analysis passes over the
   simulator's own source (``docs/static-analysis.md``)
 * ``faults``  — run the robustness battery under an adversarial network
+* ``campaign`` — run a declarative fault campaign (token recreation
+  recovery scenarios), write a canonical ``repro.campaign/1`` report
 * ``report``  — run the experiment battery, write markdown
 
 ``run``/``sweep``/``bench``/``faults``/``report`` all execute through the
@@ -192,12 +194,14 @@ def cmd_verify(args) -> int:
     from repro.verification.token_model import (
         TokenArbModel,
         TokenDstModel,
+        TokenRecreateModel,
         TokenSafetyModel,
     )
 
     models = [
         (TokenSafetyModel(), False),
         (TokenDstModel(coarse_sends=True, atomic_broadcasts=True), True),
+        (TokenRecreateModel(), False),
         (DirFlatModel(), True),
     ]
     if not args.fast:
@@ -236,18 +240,50 @@ def cmd_lint(args) -> int:
 
 
 def cmd_faults(args) -> int:
+    from repro.common.errors import ConfigError
     from repro.faults.battery import write_battery
 
-    rates = tuple(float(r) for r in args.rates.split(","))
-    write_battery(
-        args.out, rates=rates, scale=args.scale, seed=args.seed,
-        jobs=args.jobs, cache=not args.no_cache,
-        progress=lambda msg: print(f"... {msg}"),
-    )
+    try:
+        rates = tuple(float(r) for r in args.rates.split(","))
+        write_battery(
+            args.out, rates=rates, scale=args.scale, seed=args.seed,
+            jobs=args.jobs, cache=not args.no_cache,
+            progress=lambda msg: print(f"... {msg}"),
+        )
+    except (ValueError, ConfigError) as err:
+        # e.g. a ClassPolicy rejecting an out-of-range rate: a user input
+        # problem, not a crash — report it cleanly.
+        print(f"faults: {err}", file=sys.stderr)
+        return 2
     with open(args.out) as fh:
         print(fh.read(), end="")
     print(f"wrote {args.out}")
     return 0
+
+
+def cmd_campaign(args) -> int:
+    import os
+
+    from repro.common.errors import ConfigError
+    from repro.recovery.campaign import (
+        CampaignConfig, render_text as render_campaign, run_campaign,
+        write_report,
+    )
+
+    try:
+        config = CampaignConfig.load(args.config)
+    except (ValueError, ConfigError, OSError) as err:
+        print(f"campaign: {err}", file=sys.stderr)
+        return 2
+    runner = _runner(args, progress=lambda msg: print(f"... {msg}"))
+    report = run_campaign(config, runner, spans=not args.no_spans)
+    parent = os.path.dirname(args.out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    write_report(report, args.out)
+    print(render_campaign(report))
+    print(f"wrote {args.out}")
+    return 1 if report["totals"]["failed"] else 0
 
 
 def cmd_report(args) -> int:
@@ -340,6 +376,19 @@ def main(argv=None) -> int:
     f.add_argument("--seed", type=int, default=1)
     _add_engine_flags(f)
 
+    c = sub.add_parser(
+        "campaign", help="run a declarative recovery fault campaign"
+    )
+    c.add_argument("config",
+                   help="campaign config JSON (see benchmarks/campaigns/)")
+    c.add_argument("-o", "--out",
+                   default="benchmarks/results/campaign.json",
+                   help="canonical repro.campaign/1 report output path")
+    c.add_argument("--no-spans", action="store_true",
+                   help="skip the traced span representatives "
+                        "(faster; drops time_to_recover_ps)")
+    _add_engine_flags(c)
+
     r = sub.add_parser("report", help="run the experiment battery, write markdown")
     r.add_argument("--out", default="REPORT.md")
     r.add_argument("--scale", type=float, default=1.0,
@@ -358,6 +407,7 @@ def main(argv=None) -> int:
         "verify": cmd_verify,
         "lint": cmd_lint,
         "faults": cmd_faults,
+        "campaign": cmd_campaign,
         "report": cmd_report,
     }[args.command](args)
 

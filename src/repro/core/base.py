@@ -51,6 +51,10 @@ class TokenCacheController:
         self.table = PersistentTable()
         self._hold_recheck: set = set()
         self._deferred: dict = {}  # addr -> [(event, fn, args)] parked on hold
+        # Last recreation epoch seen per block (recovery tier).  Token
+        # carriers are stamped with the sender's epoch; anything older
+        # than what we know is stale and discarded, never absorbed.
+        self._block_epoch: dict = {}
         net.register(node, self.handle)
 
     # ------------------------------------------------------------------
@@ -79,6 +83,8 @@ class TokenCacheController:
             self._on_activate(msg)
         elif t is MsgType.PERSIST_DEACTIVATE:
             self._on_deactivate(msg)
+        elif t is MsgType.TOK_RECREATE_EPOCH:
+            self._on_recreate_epoch(msg)
         else:  # pragma: no cover - defensive
             raise ValueError(f"{self.node}: unexpected message {msg}")
 
@@ -86,6 +92,17 @@ class TokenCacheController:
     # Token arrival (responses, writebacks — all the same to the substrate).
     # ------------------------------------------------------------------
     def _on_tokens(self, msg: Message) -> None:
+        if msg.epoch < self._block_epoch.get(msg.addr, 0):
+            # Stale-epoch carrier: its tokens were invalidated by a
+            # recreation bump and must not be absorbed (the home memory
+            # controller has already reconstituted the full set).
+            self.net.token_absorbed(msg)
+            self.stats.bump("recovery.stale_discarded")
+            self.stats.bump("recovery.stale_tokens", msg.tokens)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.stale_discard(self.node, msg, self._block_epoch[msg.addr])
+            return
         self.net.token_absorbed(msg)  # retire in-flight conservation tracking
         if msg.tokens == 0 and not msg.owner:
             return
@@ -279,6 +296,41 @@ class TokenCacheController:
             self.array.deallocate(addr)
 
     # ------------------------------------------------------------------
+    # Token recreation (recovery tier): surrender on an epoch bump.
+    # ------------------------------------------------------------------
+    def _on_recreate_epoch(self, msg: Message) -> None:
+        """The ruler of tokens bumped the block's epoch: discard every
+        local token (they are now stale) and ack the surrender.  If we
+        held the owner token our copy is the canonical value, so it rides
+        along on the ack for memory to seed the recreated block."""
+        addr = msg.addr
+        epoch = msg.epoch
+        if epoch < self._block_epoch.get(addr, 0):
+            return  # reordered bump from an already-closed epoch
+        self._block_epoch[addr] = epoch
+        entry = self.array.lookup(addr, touch=False)
+        reply_type = MsgType.TOK_RECREATE_ACK
+        data = None
+        dirty = False
+        if entry is not None and not entry.empty:
+            if entry.owner and entry.valid_data:
+                reply_type = MsgType.TOK_RECREATE_DATA
+                data = entry.value
+                dirty = entry.dirty
+            self.stats.bump("recovery.tokens_surrendered", entry.tokens)
+            entry.take(entry.tokens, entry.owner)
+            self.array.deallocate(addr)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.recreate_surrender(self.node, addr, epoch, with_data=data is not None)
+        self.net.send(
+            Message(
+                mtype=reply_type, src=self.node, dst=self.params.home_mem(addr),
+                addr=addr, data=data, dirty=dirty, epoch=epoch,
+            )
+        )
+
+    # ------------------------------------------------------------------
     # Persistent request table maintenance.
     # ------------------------------------------------------------------
     def _on_activate(self, msg: Message) -> None:
@@ -320,6 +372,7 @@ class TokenCacheController:
         out = Message(
             mtype=mtype, src=self.node, dst=dst, addr=addr,
             tokens=tokens, owner=owner, data=data, dirty=dirty,
+            epoch=self._block_epoch.get(addr, 0),
         )
         tracer = self.sim.tracer
         if tracer is not None:

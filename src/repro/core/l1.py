@@ -40,10 +40,18 @@ class Transaction:
     waiting_wave: bool = False  # blocked by the marking rule
     timer: Optional[Event] = None
     data_source: Optional[str] = None  # who supplied the data (profiling)
+    recreate_timer: Optional[Event] = None  # recovery tier above persistent
+    recreate_attempts: int = 0
 
 
 class TokenL1Controller(TokenCacheController):
     """L1 cache (data or instruction) in the TokenCMP protocol."""
+
+    # Recreation escalation is armed by Machine.enable_recovery() only on
+    # machines with a lossy/crashy fault model: on a reliable fabric the
+    # persistent tier already guarantees liveness, and arming the extra
+    # timer would perturb event ordering of fault-free runs.
+    recovery_enabled = False
 
     def __init__(self, *args, proc: int, seed: int = 0, **kwargs):
         super().__init__(*args, **kwargs)
@@ -215,6 +223,40 @@ class TokenL1Controller(TokenCacheController):
                 self.stats.bump("persistent.wave_blocked")
             else:
                 self._dst_activate(tx, read)
+        if self.recovery_enabled and tx.recreate_timer is None:
+            # Recovery tier above persistent requests: if even persistent
+            # arbitration cannot complete this transaction, its tokens
+            # were probably destroyed — ask the ruler to recreate them.
+            tx.recreate_timer = self.sim.schedule(
+                self.estimator.recreation_threshold_ps(), self._on_recreate_timeout, tx
+            )
+
+    def _on_recreate_timeout(self, tx: Transaction) -> None:
+        if self._tx.get(tx.addr) is not tx:
+            return  # completed meanwhile
+        self.stats.bump("recovery.escalations")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.tx_recreate(self.node, tx.addr, tx.recreate_attempts)
+        self.net.send(
+            Message(
+                mtype=MsgType.TOK_RECREATE_REQ,
+                src=self.node,
+                dst=self.params.home_mem(tx.addr),
+                addr=tx.addr,
+                requestor=self.node,
+                read=not tx.is_write,
+            )
+        )
+        tx.recreate_attempts += 1
+        # Jittered exponential backoff, like the transient retry path: the
+        # request (or the grant it produces) may itself be lost, so keep
+        # retrying — but never in lock step with other starving requestors.
+        wait = self.estimator.recreation_threshold_ps(tx.recreate_attempts)
+        jitter = int(self.rng.random() * wait / 2)
+        tx.recreate_timer = self.sim.schedule(
+            wait + jitter, self._on_recreate_timeout, tx
+        )
 
     def _dst_activate(self, tx: Transaction, read: bool) -> None:
         tx.waiting_wave = False
@@ -338,6 +380,8 @@ class TokenL1Controller(TokenCacheController):
         del self._tx[addr]
         if tx.timer is not None:
             tx.timer.cancel()
+        if tx.recreate_timer is not None:
+            tx.recreate_timer.cancel()
         result = self._perform(tx.op, addr)
         self.stats.sample("l1.miss_latency_ps", self.sim.now - tx.start_ps)
         source = tx.data_source or "tokens-only"

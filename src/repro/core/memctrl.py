@@ -10,7 +10,7 @@ sufficient to keep memory up to date.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Set, Tuple
 
 from repro.common.params import SystemParams
 from repro.common.stats import Stats
@@ -20,6 +20,19 @@ from repro.interconnect.message import Message, MsgType
 from repro.interconnect.network import Network
 from repro.memory.dram import MemoryImage
 from repro.sim.kernel import Simulator
+
+
+class _Recreation:
+    """One in-progress token recreation (epoch bump) at the home node."""
+
+    __slots__ = ("epoch", "requestor", "read", "started_ps", "acked")
+
+    def __init__(self, epoch: int, requestor: NodeId, read: bool, started_ps: int):
+        self.epoch = epoch
+        self.requestor = requestor
+        self.read = read
+        self.started_ps = started_ps
+        self.acked: Set[NodeId] = set()
 
 
 class TokenMemController:
@@ -44,6 +57,12 @@ class TokenMemController:
         self.table = PersistentTable()
         self._tokens: Dict[int, int] = {}
         self._owner: Dict[int, bool] = {}
+        # Token recreation (recovery tier): memory is the ruler of tokens
+        # and owns each home block's recreation epoch.  ``ledger`` is the
+        # shared RecoveryLedger, wired by Machine.enable_recovery().
+        self._epoch: Dict[int, int] = {}
+        self._recreating: Dict[int, _Recreation] = {}
+        self.ledger = None
         net.register(node, self.handle)
 
     # ------------------------------------------------------------------
@@ -52,6 +71,20 @@ class TokenMemController:
 
     def is_owner(self, addr: int) -> bool:
         return self._owner.get(addr, True)
+
+    def epoch_of(self, addr: int) -> int:
+        """The block's current recreation epoch (0 = never recreated)."""
+        return self._epoch.get(addr, 0)
+
+    def is_recreating(self, addr: int) -> bool:
+        return addr in self._recreating
+
+    def recreating_blocks(self) -> Tuple[Tuple[int, int, int], ...]:
+        """(addr, epoch, outstanding acks) per in-progress recreation."""
+        return tuple(
+            (addr, rec.epoch, len(self.params.token_holders(addr)) - len(rec.acked))
+            for addr, rec in sorted(self._recreating.items())
+        )
 
     def _set(self, addr: int, tokens: int, owner: bool) -> None:
         self._tokens[addr] = tokens
@@ -78,11 +111,110 @@ class TokenMemController:
         elif t is MsgType.PERSIST_DEACTIVATE:
             self.table.remove(msg.extra, msg.addr)
             self._forward_check(msg.addr)
+        elif t is MsgType.TOK_RECREATE_REQ:
+            self._on_recreate_req(msg)
+        elif t in (MsgType.TOK_RECREATE_ACK, MsgType.TOK_RECREATE_DATA):
+            self._on_recreate_ack(msg)
         else:  # pragma: no cover - defensive
             raise ValueError(f"{self.node}: unexpected message {msg}")
 
     # ------------------------------------------------------------------
+    # Token recreation: the ruler of tokens (Sections 3 & 7).
+    #
+    # A starving requestor whose persistent request has outlived even the
+    # recreation timeout asks its home memory controller to *recreate*
+    # the block's tokens.  Memory bumps the block's recreation epoch and
+    # broadcasts the new epoch to every possible token holder; each cache
+    # discards its (now stale) tokens and acks, the previous owner's data
+    # riding along on the ack.  Once every holder has acked, no cache
+    # holds or will ever absorb an old-epoch token (stale carriers are
+    # discarded on arrival), so memory can safely reconstitute the full
+    # token set — single-owner safety is preserved because old-epoch
+    # owner tokens are dead on arrival everywhere.
+    # ------------------------------------------------------------------
+    def _on_recreate_req(self, msg: Message) -> None:
+        addr = msg.addr
+        rec = self._recreating.get(addr)
+        if rec is not None:
+            # A retry from a still-starving requestor: the bump or some
+            # surrender acks were lost.  Re-broadcast to the holdouts.
+            self._broadcast_epoch(addr, rec, only_unacked=True)
+            return
+        epoch = self.epoch_of(addr) + 1
+        self._epoch[addr] = epoch
+        rec = _Recreation(
+            epoch=epoch, requestor=msg.requestor, read=msg.read,
+            started_ps=self.sim.now,
+        )
+        self._recreating[addr] = rec
+        self.stats.bump("recovery.recreations")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.recreate_epoch(self.node, addr, epoch, msg.requestor)
+        self._broadcast_epoch(addr, rec)
+
+    def _broadcast_epoch(self, addr: int, rec: _Recreation,
+                         only_unacked: bool = False) -> None:
+        template = Message(
+            mtype=MsgType.TOK_RECREATE_EPOCH, src=self.node, dst=self.node,
+            addr=addr, epoch=rec.epoch,
+        )
+        send = self.net.send
+        for dst in self.params.token_holders(addr):
+            if only_unacked and dst in rec.acked:
+                continue
+            send(template.clone_to(dst))
+
+    def _on_recreate_ack(self, msg: Message) -> None:
+        addr = msg.addr
+        rec = self._recreating.get(addr)
+        if rec is None or msg.epoch != rec.epoch:
+            return  # stale or duplicated ack from an already-closed epoch
+        rec.acked.add(msg.src)
+        if msg.mtype is MsgType.TOK_RECREATE_DATA:
+            # The surrendering cache held the owner token: its copy is the
+            # canonical value and must seed the recreated block.
+            assert msg.data is not None, "owner surrender must carry data"
+            self.image.write(addr, msg.data)
+        if len(rec.acked) == len(self.params.token_holders(addr)):
+            self._finish_recreation(addr, rec)
+
+    def _finish_recreation(self, addr: int, rec: _Recreation) -> None:
+        del self._recreating[addr]
+        self._set(addr, self.params.tokens_per_block, True)
+        if self.ledger is not None:
+            self.ledger.recreated(addr)
+        self.stats.bump("recovery.completed")
+        self.stats.sample("recovery.recreation_ps", self.sim.now - rec.started_ps)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.recreate_done(self.node, addr, rec.epoch,
+                                 latency_ps=self.sim.now - rec.started_ps)
+        # Serve the starving initiator.  If a persistent request is active
+        # the normal forwarding rules apply (arbitration stays fair);
+        # otherwise — its activate may itself have been lost — grant the
+        # full set directly (E-analogue) so the requestor finishes in one
+        # transfer.
+        if self.table.active_for(addr) is not None:
+            self._forward_check(addr)
+        else:
+            self._respond(rec.requestor, addr,
+                          give=self.params.tokens_per_block, give_owner=True)
+
+    def _discard_stale(self, msg: Message) -> None:
+        """An old-epoch token carrier arrived: it is dead on arrival."""
+        self.net.token_absorbed(msg)
+        self.stats.bump("recovery.stale_discarded")
+        self.stats.bump("recovery.stale_tokens", msg.tokens)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.stale_discard(self.node, msg, self.epoch_of(msg.addr))
+
+    # ------------------------------------------------------------------
     def _on_tokens(self, msg: Message) -> None:
+        if msg.epoch < self.epoch_of(msg.addr):
+            self._discard_stale(msg)
+            return
         self.net.token_absorbed(msg)  # retire in-flight conservation tracking
         tracer = self.sim.tracer
         if tracer is not None:
@@ -100,6 +232,8 @@ class TokenMemController:
 
     def _on_transient(self, msg: Message) -> None:
         addr = msg.addr
+        if addr in self._recreating:
+            return  # tokens reserved until the epoch bump completes
         if self.table.active_for(addr) is not None:
             return  # tokens reserved for the active persistent request
         tokens = self.tokens_of(addr)
@@ -125,6 +259,8 @@ class TokenMemController:
         self._respond(msg.requestor, addr, give=give, give_owner=(give == tokens))
 
     def _forward_check(self, addr: int) -> None:
+        if addr in self._recreating:
+            return  # tokens reserved until the epoch bump completes
         active = self.table.active_for(addr)
         if active is None:
             return
@@ -181,6 +317,7 @@ class TokenMemController:
             tokens=give,
             owner=give_owner,
             data=data,
+            epoch=self.epoch_of(addr),
         )
         tracer = self.sim.tracer
         if tracer is not None:

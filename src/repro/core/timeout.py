@@ -31,6 +31,7 @@ class TimeoutEstimator:
         floor_ns: float = 100.0,
         backoff_base: float = 2.0,
         backoff_cap: float = 8.0,
+        recreate_multiplier: float = 8.0,
     ):
         self._avg_ps = float(ns(initial_ns / multiplier))
         self.multiplier = multiplier
@@ -38,6 +39,7 @@ class TimeoutEstimator:
         self.floor_ps = ns(floor_ns)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.recreate_multiplier = recreate_multiplier
         self.samples = 0
 
     def observe_memory_response(self, latency_ps: int) -> None:
@@ -51,3 +53,20 @@ class TimeoutEstimator:
         # The EWMA is float by design; rounding it is reproducible for a
         # given input history, so this is not a determinism hazard.
         return max(self.floor_ps, round(self._avg_ps * self.multiplier * escalation))  # staticcheck: ignore[det-float-time]
+
+    def recreation_threshold_ps(self, attempts: int = 0) -> int:
+        """Timeout for the recreation tier *above* persistent requests.
+
+        A persistent request that has been active this long without
+        completing suggests its tokens were genuinely destroyed (lossy
+        fabric, crashed controller) — the requestor escalates to asking
+        the home memory controller, the ruler of tokens, to recreate
+        them.  The tier sits a ``recreate_multiplier`` above the fully
+        backed-off transient timeout so it can never preempt the normal
+        persistent path, and it backs off itself across ``attempts`` so
+        repeated recreation requests for one dead block do not storm.
+        """
+        escalation = min(self.backoff_cap, self.backoff_base ** attempts)
+        base = self._avg_ps * self.multiplier * self.backoff_cap * self.recreate_multiplier
+        # Reproducible for the same input history, like threshold_ps.
+        return max(self.floor_ps, round(base * escalation))  # staticcheck: ignore[det-float-time]

@@ -98,11 +98,27 @@ def check_conservation(
     mem_value: int,
     total_tokens: int,
     in_flight: Iterable[Tuple[int, bool, Optional[int]]] = (),
+    destroyed_tokens: int = 0,
+    destroyed_owner: bool = False,
+    recreating: bool = False,
 ) -> None:
     """Assert the substrate invariants for one block; raise ProtocolError.
 
     ``holders`` are (name, entry) pairs for every cache; ``in_flight`` are
-    (tokens, owner, data) triples for undelivered messages.
+    (tokens, owner, data) triples for undelivered messages **of the
+    block's current recreation epoch** (stale-epoch carriers are walking
+    dead: they will be discarded on arrival and must not be counted).
+
+    ``destroyed_tokens`` / ``destroyed_owner`` is the recovery ledger's
+    deficit for the block: tokens genuinely destroyed (lossy drops, crash
+    wipes) that the home memory controller has not yet recreated.  The
+    epoch-aware invariant is that live + destroyed tokens account for
+    exactly ``T`` — the deficit is debt the next epoch bump repays.
+
+    ``recreating`` relaxes the global counts while an epoch bump is in
+    progress: between the bump and the last surrender ack, caches still
+    holding stale-epoch tokens are indistinguishable from wiped ones, so
+    only per-holder structural invariants are checked.
     """
     count = mem_tokens
     owners = 1 if mem_owner else 0
@@ -116,13 +132,20 @@ def check_conservation(
             raise ProtocolError(f"{name}: owner without valid data")
         if entry.tokens == 0 and entry.valid_data:
             raise ProtocolError(f"{name}: valid data without tokens")
+    if recreating:
+        return
     for tokens, owner, data in in_flight:
         count += tokens
         if owner:
             owners += 1
             owner_value = data
+    count += destroyed_tokens
+    if destroyed_owner:
+        owners += 1
+        owner_value = None  # the canonical copy died with the owner token
     if count != total_tokens:
-        raise ProtocolError(f"token count {count} != T={total_tokens}")
+        detail = f" ({destroyed_tokens} destroyed)" if destroyed_tokens else ""
+        raise ProtocolError(f"token count {count}{detail} != T={total_tokens}")
     if owners != 1:
         raise ProtocolError(f"{owners} owner tokens in the system")
     if owner_value is not None:

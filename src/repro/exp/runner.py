@@ -42,6 +42,10 @@ def run_cell(cell: Cell, tracer=None, profiler=None) -> CellResult:
     """
     machine = Machine(cell.params, cell.protocol, seed=cell.seed,
                       faults=cell.faults)
+    if cell.crash is not None:
+        from repro.faults.crash import CrashInjector
+
+        CrashInjector(machine, cell.crash, seed=cell.seed)
     if tracer is not None:
         tracer.attach(machine.sim)
     if profiler is not None:
@@ -74,6 +78,15 @@ def run_cell(cell: Cell, tracer=None, profiler=None) -> CellResult:
         run_result.stats.counters["watchdog.trips"] = watchdog.trips
     if monitor is not None:
         run_result.stats.counters["invariant.checks"] = monitor.checks
+    if machine.recovery is not None:
+        # End-of-run recovery residuals: the campaign verdict inputs.
+        ledger = machine.recovery
+        counters = run_result.stats.counters
+        counters["recovery.residual_tokens"] = ledger.residual_tokens()
+        counters["recovery.degraded_blocks"] = len(ledger.degraded_blocks())
+        counters["recovery.writes_lost"] = ledger.writes_lost
+        counters["recovery.tokens_destroyed"] = ledger.tokens_destroyed
+        counters["recovery.tokens_recreated"] = ledger.tokens_recreated
     return CellResult.from_run(run_result, cell)
 
 

@@ -47,6 +47,7 @@ class Cell:
     params: SystemParams = dataclasses.field(default_factory=SystemParams)
     max_events: Optional[int] = DEFAULT_MAX_EVENTS
     faults: Optional[object] = None  # repro.faults.injector.FaultConfig
+    crash: Optional[object] = None  # repro.faults.crash.CrashSpec
     watchdog_budget_ns: Optional[float] = None
     watchdog_check_every: Optional[int] = None
     invariant_check_every: Optional[int] = None
@@ -92,7 +93,7 @@ class Cell:
         """
         if not self.cacheable:
             return None
-        return {
+        material = {
             "protocol": dataclasses.asdict(self.protocol),
             "workload": self.workload,
             "workload_kwargs": dict(self.workload_kwargs),
@@ -105,6 +106,11 @@ class Cell:
             "invariant_check_every": self.invariant_check_every,
             "check_invariants": self.check_invariants,
         }
+        # Added conditionally so cells without a crash keep the key (and
+        # any cached result) they had before the field existed.
+        if self.crash is not None:
+            material["crash"] = dataclasses.asdict(self.crash)
+        return material
 
 
 @dataclasses.dataclass(frozen=True)

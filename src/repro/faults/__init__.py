@@ -12,9 +12,13 @@ claim testable:
   quiescence detection with structured diagnostics) and
   :class:`InvariantMonitor` (continuous token-conservation checking);
 * :mod:`repro.faults.battery` — the fault-rate sweep behind
-  ``python -m repro faults`` and ``benchmarks/bench_robustness.py``.
+  ``python -m repro faults`` and ``benchmarks/bench_robustness.py``;
+* :mod:`repro.faults.crash` — :class:`CrashInjector`, a seeded kernel
+  fault that wipes an L1/L2's token soft-state mid-run (recovered by the
+  token-recreation tier, see :mod:`repro.recovery`).
 """
 
+from repro.faults.crash import CrashInjector, CrashSpec
 from repro.faults.injector import ClassPolicy, FaultConfig, FaultyNetwork
 from repro.faults.watchdog import (
     InvariantMonitor,
@@ -25,6 +29,8 @@ from repro.faults.watchdog import (
 
 __all__ = [
     "ClassPolicy",
+    "CrashInjector",
+    "CrashSpec",
     "FaultConfig",
     "FaultyNetwork",
     "InvariantMonitor",

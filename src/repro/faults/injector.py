@@ -55,6 +55,14 @@ TOKEN_CARRIERS = (
 PERSISTENT = (
     MsgType.PERSIST_REQ, MsgType.PERSIST_ACTIVATE, MsgType.PERSIST_DEACTIVATE
 )
+# Recovery-tier messages share the persistent class's policies and clamps:
+# they are the mechanism that makes token loss survivable, so the fault
+# model never drops them (they may be delayed, reordered or duplicated —
+# every recreation message is idempotent at its receiver).
+RECREATION = (
+    MsgType.TOK_RECREATE_REQ, MsgType.TOK_RECREATE_EPOCH,
+    MsgType.TOK_RECREATE_ACK, MsgType.TOK_RECREATE_DATA,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,9 +91,17 @@ NO_FAULTS = ClassPolicy()
 class FaultConfig:
     """Per-message-class fault policies for one :class:`FaultyNetwork`.
 
-    ``allow_unsafe`` disables the safety clamps (no dropped/forged tokens,
-    no dropped persistent messages).  It exists so tests can *induce* the
-    failures the watchdog and invariant monitor are meant to detect.
+    ``lossy`` lifts the "never drop token carriers" clamp *with recovery*:
+    dropped carriers genuinely destroy their tokens, and the destruction
+    is recorded in the machine's :class:`RecoveryLedger` so the
+    epoch-aware conservation invariant stays checkable and the token
+    recreation tier can restore the block.  A ``lossy`` machine must have
+    recovery enabled (``Machine`` arms it automatically).
+
+    ``allow_unsafe`` disables *all* safety clamps with no ledger and no
+    recovery (forged tokens, dropped persistent messages).  It exists so
+    tests can *induce* the failures the watchdog and invariant monitor
+    are meant to detect.
     """
 
     request: ClassPolicy = NO_FAULTS
@@ -93,19 +109,25 @@ class FaultConfig:
     persistent: ClassPolicy = NO_FAULTS
     other: ClassPolicy = NO_FAULTS
     allow_unsafe: bool = False
+    lossy: bool = False
 
     @staticmethod
     def adversarial(rate: float, delay_ps: int = 10_000,
-                    reorder_window_ps: int = 2_000) -> "FaultConfig":
+                    reorder_window_ps: int = 2_000,
+                    lossy: bool = False) -> "FaultConfig":
         """The battery's standard adversary at one fault ``rate``:
         drop + duplicate + reorder + delay transient requests, reorder +
-        delay token carriers, duplicate + delay persistent messages."""
+        delay token carriers, duplicate + delay persistent messages.
+        With ``lossy=True`` token carriers are additionally *dropped* at
+        ``rate`` — tokens are genuinely destroyed and must be recreated
+        by the recovery tier."""
         return FaultConfig(
             request=ClassPolicy(
                 drop=rate, duplicate=rate, reorder=rate, delay=rate / 2,
                 reorder_window_ps=reorder_window_ps, delay_ps=delay_ps,
             ),
             response=ClassPolicy(
+                drop=rate if lossy else 0.0,
                 reorder=rate, delay=rate / 2,
                 reorder_window_ps=reorder_window_ps, delay_ps=delay_ps,
             ),
@@ -114,6 +136,7 @@ class FaultConfig:
                 reorder_window_ps=reorder_window_ps, delay_ps=delay_ps,
                 fifo=True,
             ),
+            lossy=lossy,
         )
 
 
@@ -146,6 +169,11 @@ class FaultyNetwork:
         self._rng = substream(seed, "faults")
         self._in_flight: Dict[int, Message] = {}
         self._fifo_last: Dict[Tuple[NodeId, NodeId], int] = {}
+        # Recovery wiring (Machine.enable_recovery): the shared ledger of
+        # destroyed-then-recreated tokens, and a callback returning a
+        # block's current recreation epoch at its home controller.
+        self.ledger = None
+        self.epoch_of = None
 
     # ------------------------------------------------------------------
     # Network interface (controllers are oblivious to the wrapper).
@@ -182,6 +210,16 @@ class FaultyNetwork:
         for msg in self._in_flight.values():
             yield msg.addr, (msg.tokens, msg.owner, msg.data)
 
+    def in_flight_token_epochs(
+        self,
+    ) -> Iterator[Tuple[int, int, Tuple[int, bool, object]]]:
+        """(addr, epoch, (tokens, owner, data)) for every undelivered
+        carrier — the epoch-aware census: carriers stamped with an older
+        epoch than their block's current one are walking dead and must be
+        excluded from conservation."""
+        for msg in self._in_flight.values():
+            yield msg.addr, msg.epoch, (msg.tokens, msg.owner, msg.data)
+
     def in_flight_messages(self) -> List[str]:
         return [str(msg) for msg in self._in_flight.values()]
 
@@ -193,7 +231,7 @@ class FaultyNetwork:
             return "request", self.config.request
         if msg.mtype in TOKEN_CARRIERS:
             return "response", self.config.response
-        if msg.mtype in PERSISTENT:
+        if msg.mtype in PERSISTENT or msg.mtype in RECREATION:
             return "persistent", self.config.persistent
         return "other", self.config.other
 
@@ -205,10 +243,12 @@ class FaultyNetwork:
 
         # ---- drop ----------------------------------------------------
         if policy.drop > 0.0 and self._rng.random() < policy.drop:
-            # Safety clamp: tokens must never be destroyed and persistent
-            # messages must always arrive; only token-free transients may
-            # legitimately vanish.
-            if klass != "request" and not unsafe:
+            # Safety clamp: persistent messages must always arrive, and
+            # tokens may only be destroyed when the recovery subsystem is
+            # there to recreate them (``lossy``) or the caller explicitly
+            # asked for unrecoverable destruction (``allow_unsafe``).
+            lossy = self.config.lossy and msg.mtype in TOKEN_CARRIERS
+            if klass != "request" and not unsafe and not lossy:
                 self.stats.bump("faults.suppressed")
                 self.stats.bump(f"faults.suppressed.drop.{klass}")
             else:
@@ -219,6 +259,17 @@ class FaultyNetwork:
                 if carries_tokens:
                     self._in_flight.pop(msg.uid, None)
                     self.stats.bump("faults.tokens_destroyed", msg.tokens)
+                    if self.ledger is not None:
+                        if (self.epoch_of is not None
+                                and msg.epoch < self.epoch_of(msg.addr)):
+                            # A stale-epoch carrier was already walking
+                            # dead — dropping it destroys nothing live.
+                            self.stats.bump("recovery.stale_discarded")
+                            self.stats.bump("recovery.stale_tokens", msg.tokens)
+                        else:
+                            self.ledger.destroy(
+                                msg.addr, msg.tokens, msg.owner, dirty=msg.dirty
+                            )
                 return
 
         # ---- extra latency: long delay and/or reorder jitter ---------

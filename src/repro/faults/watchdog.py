@@ -12,8 +12,9 @@ cannot keep a drained queue alive):
   still firing) and enriches **global quiescence-without-completion**
   (the queue drained but threads never finished).  Both produce a
   structured :class:`LivenessDiagnostics` dump: per-block token census,
-  pending persistent-table entries, arbiter queue depths, and the
-  fault-injected messages still in flight.
+  pending persistent-table entries, arbiter queue depths, in-progress
+  token recreations (with outstanding-ack counts), ledger-degraded
+  blocks, and the fault-injected messages still in flight.
 
 * :class:`InvariantMonitor` — re-runs the token-conservation and
   single-owner checks *during* the run, counting tokens inside undelivered
@@ -41,22 +42,37 @@ class LivenessDiagnostics:
     persistent_entries: Dict[str, List[str]]  # node -> entry descriptions
     arbiter_queues: Dict[str, Tuple[int, Optional[str]]]  # node -> (depth, active)
     in_flight: List[str]  # fault-injected messages not yet delivered
+    recreation_pending: List[str] = dataclasses.field(default_factory=list)
+    degraded_blocks: List[int] = dataclasses.field(default_factory=list)
 
     def render(self, max_blocks: int = 16) -> str:
         lines = [f"liveness diagnostics at t={to_ns(self.now_ps):.1f} ns"]
         for proc, idle in self.stalled_procs:
             lines.append(f"  stalled: proc {proc} idle {to_ns(idle):.1f} ns")
-        for i, (addr, holders) in enumerate(sorted(self.token_census.items())):
-            if i >= max_blocks:
-                lines.append(f"  ... {len(self.token_census) - max_blocks} more blocks")
-                break
-            lines.append(f"  block {addr:#x}: " + "; ".join(holders))
+
+        def capped(items, describe):
+            for i, item in enumerate(items):
+                if i >= max_blocks:
+                    lines.append(f"  ... {len(items) - max_blocks} more")
+                    break
+                lines.append("  " + describe(item))
+
+        capped(sorted(self.token_census.items()),
+               lambda kv: f"block {kv[0]:#x}: " + "; ".join(kv[1]))
+        capped(self.recreation_pending, lambda s: f"recreating: {s}")
+        if self.degraded_blocks:
+            shown = ", ".join(f"{a:#x}" for a in self.degraded_blocks[:max_blocks])
+            more = len(self.degraded_blocks) - max_blocks
+            lines.append(f"  degraded blocks: {shown}"
+                         + (f" ... {more} more" if more > 0 else ""))
         for node, entries in sorted(self.persistent_entries.items()):
-            lines.append(f"  persistent@{node}: " + "; ".join(entries))
+            shown = entries[:max_blocks]
+            more = len(entries) - max_blocks
+            lines.append(f"  persistent@{node}: " + "; ".join(shown)
+                         + (f" ... {more} more" if more > 0 else ""))
         for node, (depth, active) in sorted(self.arbiter_queues.items()):
             lines.append(f"  arbiter@{node}: queued={depth} active={active}")
-        for msg in self.in_flight:
-            lines.append(f"  in flight: {msg}")
+        capped(self.in_flight, lambda msg: f"in flight: {msg}")
         return "\n".join(lines)
 
 
@@ -95,6 +111,16 @@ def collect_diagnostics(machine, stalled: List[Tuple[int, int]] = ()) -> Livenes
                 active = str(ctrl._active) if ctrl._active is not None else None
                 arbiters[str(node)] = (len(ctrl._queue), active)
     in_flight = getattr(machine.net, "in_flight_messages", lambda: [])()
+    recreating: List[str] = []
+    degraded: List[int] = []
+    if machine.cfg.family == "token":
+        for mem in machine.mems.values():
+            for addr, epoch, outstanding in mem.recreating_blocks():
+                recreating.append(
+                    f"{mem.node}@{addr:#x} epoch={epoch} awaiting {outstanding} ack(s)"
+                )
+        if machine.recovery is not None:
+            degraded = list(machine.recovery.degraded_blocks())
     return LivenessDiagnostics(
         now_ps=machine.sim.now,
         stalled_procs=list(stalled),
@@ -102,6 +128,8 @@ def collect_diagnostics(machine, stalled: List[Tuple[int, int]] = ()) -> Livenes
         persistent_entries=persistent,
         arbiter_queues=arbiters,
         in_flight=in_flight,
+        recreation_pending=recreating,
+        degraded_blocks=degraded,
     )
 
 

@@ -37,6 +37,14 @@ class MsgType(enum.Enum):
     PERSIST_REQ = ("PERSIST_REQ", _K.PERSISTENT, False)  # to arbiter (arb scheme)
     PERSIST_ACTIVATE = ("PERSIST_ACTIVATE", _K.PERSISTENT, False)
     PERSIST_DEACTIVATE = ("PERSIST_DEACTIVATE", _K.PERSISTENT, False)
+    # Token recreation (recovery tier above persistent requests): a starving
+    # requestor asks the block's home memory controller -- the ruler of
+    # tokens -- to bump the block's recreation epoch, invalidate every
+    # stale token, and reconstitute the full token set at memory.
+    TOK_RECREATE_REQ = ("TOK_RECREATE_REQ", _K.PERSISTENT, False)  # to home mem
+    TOK_RECREATE_EPOCH = ("TOK_RECREATE_EPOCH", _K.PERSISTENT, False)  # epoch bump
+    TOK_RECREATE_ACK = ("TOK_RECREATE_ACK", _K.PERSISTENT, False)  # surrendered, clean
+    TOK_RECREATE_DATA = ("TOK_RECREATE_DATA", _K.PERSISTENT, True)  # surrendered owner data
 
     # ---- Hierarchical directory (DirectoryCMP) ----
     DIR_GETS = ("DIR_GETS", _K.REQUEST, False)
@@ -74,6 +82,9 @@ class Message:
     * ``acks`` — number of acknowledgements the receiver should expect.
     * ``serial`` — requestor-local transaction id (stale-response filter).
     * ``prio`` — persistent-request priority (smaller wins).
+    * ``epoch`` — the block's recreation epoch as known by the sender;
+      token carriers stamped with an older epoch than the receiver's are
+      stale and must be discarded, never absorbed.
     * ``extra`` — anything else (kept rare).
     """
 
@@ -91,6 +102,7 @@ class Message:
     acks: int = 0
     serial: int = 0
     prio: int = 0
+    epoch: int = 0
     extra: Any = None
     uid: int = dataclasses.field(default_factory=lambda: next(_msg_ids))
 

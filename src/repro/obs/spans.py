@@ -36,10 +36,20 @@ from repro.common.types import NodeId, to_ns
 from repro.obs.trace import TraceEvent
 
 #: Canonical milestone order within one transaction lifecycle.
-MILESTONES = ("issue", "transient", "escalate", "persistent", "data", "complete")
+MILESTONES = (
+    "issue",
+    "transient",
+    "escalate",
+    "persistent",
+    "recreate",
+    "data",
+    "complete",
+)
 
-#: Span categories, most specific first.
-CATEGORIES = ("persistent", "escalated", "intra-hit")
+#: Span categories, most specific first.  ``recovered`` spans escalated
+#: past the persistent tier into token recreation (the ``recovered``
+#: category's ``total`` stream is the time-to-recover distribution).
+CATEGORIES = ("recovered", "persistent", "escalated", "intra-hit")
 
 
 @dataclasses.dataclass
@@ -65,6 +75,8 @@ class Span:
 
     @property
     def category(self) -> str:
+        if "recreate" in self.milestones:
+            return "recovered"
         if "persistent" in self.milestones:
             return "persistent"
         if "escalate" in self.milestones:

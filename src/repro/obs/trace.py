@@ -41,6 +41,12 @@ kind                meaning
 ``dir.transition``  a directory line changed state
 ``fault.drop`` / ``fault.duplicate`` / ``fault.delay`` /
 ``fault.reorder``   the fault injector perturbed a delivery
+``fault.crash``     a crash injector wiped a controller's token state
+``tx.recreate``     an L1 escalated a starving miss to token recreation
+``recreate.epoch``  the home memory bumped a block's recreation epoch
+``recreate.surrender``  a cache destroyed its local tokens and acked
+``recreate.stale``  a stale-epoch token carrier was discarded on arrival
+``recreate.done``   memory reconstituted the full token set
 ==================  ===============================================
 """
 
@@ -73,6 +79,12 @@ KINDS = frozenset(
         "fault.duplicate",
         "fault.delay",
         "fault.reorder",
+        "fault.crash",
+        "tx.recreate",
+        "recreate.epoch",
+        "recreate.surrender",
+        "recreate.stale",
+        "recreate.done",
     }
 )
 
@@ -276,4 +288,52 @@ class Tracer:
             mtype=msg.mtype.name,
             klass=klass,
             extra_ps=extra_ps,
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery subsystem (token recreation + crash faults).
+    # ------------------------------------------------------------------
+    def crash(self, node: NodeId, blocks: int, tokens: int) -> None:
+        self.emit("fault.crash", node=node, blocks=blocks, tokens=tokens)
+
+    def tx_recreate(self, node: NodeId, addr: int, attempts: int) -> None:
+        # node is the starving requestor, so span stitching can attribute
+        # the escalation to the open transaction (like tx.escalate).
+        self.emit("tx.recreate", node=node, addr=addr, attempts=attempts)
+
+    def recreate_epoch(
+        self, node: NodeId, addr: int, epoch: int, requestor: NodeId
+    ) -> None:
+        self.emit(
+            "recreate.epoch",
+            node=node,
+            addr=addr,
+            epoch=epoch,
+            requestor=str(requestor),
+        )
+
+    def recreate_surrender(
+        self, node: NodeId, addr: int, epoch: int, with_data: bool
+    ) -> None:
+        self.emit(
+            "recreate.surrender", node=node, addr=addr, epoch=epoch, data=with_data
+        )
+
+    def stale_discard(self, node: NodeId, msg, epoch: int) -> None:
+        self.emit(
+            "recreate.stale",
+            node=node,
+            addr=msg.addr,
+            mid=self.mid(msg),
+            mtype=msg.mtype.name,
+            tokens=msg.tokens,
+            owner=msg.owner,
+            epoch=epoch,
+        )
+
+    def recreate_done(
+        self, node: NodeId, addr: int, epoch: int, latency_ps: int
+    ) -> None:
+        self.emit(
+            "recreate.done", node=node, addr=addr, epoch=epoch, latency_ps=latency_ps
         )

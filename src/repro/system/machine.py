@@ -63,11 +63,14 @@ class Machine:
             net = FaultyNetwork(net, faults, seed=seed, stats=self.stats)
         self.net = net
         self.watchdog = None  # set by faults.watchdog.LivenessWatchdog
+        self.recovery = None  # RecoveryLedger, set by enable_recovery()
         self.l1ds: List = []  # per-processor L1 data controllers
         self.l1is: List = []  # per-processor L1 instruction controllers
         self.controllers: Dict[NodeId, object] = {}
         self.mems: Dict[int, object] = {}
         self._build()
+        if faults is not None and getattr(faults, "lossy", False):
+            self.enable_recovery()
         self.sequencers = [
             Sequencer(
                 self.sim, p, self.l1ds[p], self.stats,
@@ -96,6 +99,38 @@ class Machine:
             build_perfect_machine(self)
 
     # ------------------------------------------------------------------
+    def enable_recovery(self):
+        """Arm the token-recreation recovery subsystem (token family).
+
+        Creates the shared :class:`~repro.recovery.ledger.RecoveryLedger`,
+        wires it into the memory controllers (rulers of tokens) and the
+        fault-injecting network, and arms the L1s' recreation escalation
+        tier.  Idempotent.  Required for ``FaultConfig(lossy=True)`` runs
+        and for :class:`~repro.faults.crash.CrashInjector` — without it,
+        destroyed tokens would starve their block forever.
+        """
+        if self.recovery is not None:
+            return self.recovery
+        if self.cfg.family != "token":
+            raise ProtocolError("token recovery only applies to the token family")
+        from repro.core.l1 import TokenL1Controller
+        from repro.recovery.ledger import RecoveryLedger
+
+        self.recovery = ledger = RecoveryLedger()
+        for mem in self.mems.values():
+            mem.ledger = ledger
+        for ctrl in self.controllers.values():
+            if isinstance(ctrl, TokenL1Controller):
+                ctrl.recovery_enabled = True
+        if hasattr(self.net, "in_flight_tokens"):  # FaultyNetwork wrapper
+            self.net.ledger = ledger
+            self.net.epoch_of = self.block_epoch
+        return ledger
+
+    def block_epoch(self, addr: int) -> int:
+        """The block's current recreation epoch at its home controller."""
+        return self.mems[self.params.home_chip(addr)].epoch_of(addr)
+
     def run(self, workload: Workload, max_events: Optional[int] = None) -> RunResult:
         """Run ``workload`` to completion and return the results."""
         gens = workload.generators()
@@ -201,11 +236,16 @@ class Machine:
         from repro.core.base import TokenCacheController
         from repro.core.tokens import check_conservation
 
+        # Census the in-flight carriers, keeping only those of each
+        # block's *current* recreation epoch — stale-epoch carriers are
+        # walking dead (discarded on arrival, already replaced by the
+        # reconstituted set at memory) and must not be counted.
         in_flight_by_addr: Dict[int, list] = {}
-        collect = getattr(self.net, "in_flight_tokens", None)
+        collect = getattr(self.net, "in_flight_token_epochs", None)
         if collect is not None:
-            for addr, triple in collect():
-                in_flight_by_addr.setdefault(addr, []).append(triple)
+            for addr, epoch, triple in collect():
+                if epoch >= self.block_epoch(addr):
+                    in_flight_by_addr.setdefault(addr, []).append(triple)
 
         for addr in self.touched_blocks():
             home = self.mems[self.params.home_chip(addr)]
@@ -215,6 +255,9 @@ class Machine:
                     entry = ctrl.peek_entry(addr)
                     if entry is not None:
                         holders.append((str(node), entry))
+            destroyed, destroyed_owner = (
+                self.recovery.deficit(addr) if self.recovery is not None else (0, False)
+            )
             check_conservation(
                 holders,
                 mem_tokens=home.tokens_of(addr),
@@ -222,6 +265,9 @@ class Machine:
                 mem_value=home.image.read(addr),
                 total_tokens=self.params.tokens_per_block,
                 in_flight=in_flight_by_addr.get(addr, ()),
+                destroyed_tokens=destroyed,
+                destroyed_owner=destroyed_owner,
+                recreating=home.is_recreating(addr),
             )
 
     def coherent_value(self, addr: int) -> int:

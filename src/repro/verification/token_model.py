@@ -1,6 +1,6 @@
 """Down-scaled models of the TokenCMP correctness substrate (Section 5).
 
-Three models, mirroring the paper's verification targets:
+Four models, mirroring the paper's verification targets:
 
 * :class:`TokenSafetyModel` — token counting only, no starvation
   prevention ("TokenCMP-safety"): used to verify safety cheaply.
@@ -8,6 +8,10 @@ Three models, mirroring the paper's verification targets:
   activation** (tables at every site, fixed priority, marking rule).
 * :class:`TokenArbModel` — persistent requests with the **arbiter-based**
   activation mechanism (fair FIFO at the home arbiter).
+* :class:`TokenRecreateModel` — token counting plus the **recreation
+  recovery tier**: an adversary destroys in-flight carriers and crashes
+  caches, and the home memory (ruler of tokens) bumps a per-block epoch,
+  collects surrender acks and reconstitutes the full token set.
 
 Standard down-scaling is applied (paper Section 5): one block, two
 processor caches plus memory, a small token count, values from a 2-value
@@ -614,6 +618,262 @@ class TokenArbModel(_TokenBase):
             npr[perm[old]] = pr[old]
         return (caches, mem, net, wants, tuple(nsa), (nqueue, nactive),
                 tuple(nchan), tuple(npr))
+
+
+class TokenRecreateModel(_TokenBase):
+    """Safety model of the token-recreation recovery tier.
+
+    Extends the safety model's state with the recovery machinery:
+
+      ceps  = per-cache known recreation epoch
+      epoch = memory's current epoch
+      rec   = None, or the frozenset of caches that have acked the
+              in-progress recreation
+      lost  = (tokens, owner) destroyed in the *current* epoch (the
+              model's recovery ledger)
+
+    Only epoch *comparisons* matter, so :meth:`canonicalize` rebases every
+    stamp relative to memory's current epoch (and merges stale carrier
+    stamps older than two epochs, which behave identically everywhere).
+    That folds an unbounded sequence of recreations into a finite state
+    space without capping the epoch counter.
+
+    Token carriers are stamped with the sender's epoch; stale-epoch
+    carriers are discarded on arrival everywhere.  The adversary may
+    destroy any in-flight carrier (``lose``) or wipe any cache's soft
+    state (``crash``) at any time — recreation control messages are never
+    lost, matching the injector's never-drop clamp for the recreation
+    message class.  Memory sends nothing while a recreation is active
+    (the implementation's ``_on_transient``/``_forward_check`` guards);
+    completion requires surrender acks from *every* cache, which is the
+    safety argument: no cache can still absorb a pre-bump carrier after
+    memory reconstitutes the full set.
+
+    The invariant is the epoch-aware conservation check: current-epoch
+    live tokens plus the ledger deficit equal ``T`` with exactly one
+    owner, relaxed to structural checks while a recreation is in flight —
+    exactly mirroring ``repro.core.tokens.check_conservation``.
+    """
+
+    name = "TokenCMP-recreate"
+
+    FIELDS = ("caches", "mem", "net", "wants", "ceps", "epoch", "rec", "lost")
+
+    def __init__(self, n_caches: int = 2, total_tokens: int = 3, values: int = 2,
+                 net_cap: int = 2):
+        super().__init__(n_caches, total_tokens, values, net_cap,
+                         coarse_sends=True, atomic_broadcasts=False)
+
+    def initial_states(self):
+        caches, mem, net, wants = self._initial_core()
+        ceps = tuple(0 for _ in range(self.n))
+        return [(caches, mem, net, wants, ceps, 0, None, (0, False))]
+
+    def _mk(self, state, **kw):
+        record = dict(zip(self.FIELDS, state))
+        record.update(kw)
+        return tuple(record[f] for f in self.FIELDS)
+
+    def transitions(self, state):
+        caches, mem, net, wants, ceps, epoch, rec, lost = state
+        mk = lambda s, **kw: self._mk(s, **kw)  # noqa: E731
+        out = []
+        out += self._want_transitions(state, mk)
+        out += self._complete_transitions(state, mk)
+
+        # Nondeterministic performance policy, epoch-stamped carriers.
+        if len(net) < self.net_cap:
+            for i, cache in enumerate(caches):
+                ctok, cown, cval, _cdata = cache
+                if ctok == 0:
+                    continue
+                ncache, value = _take(cache, ctok, cown)
+                msg_val = value if (cown or cval) else None
+                for dst in list(range(self.n)) + [MEM]:
+                    if dst == i:
+                        continue
+                    msg = ("tok", dst, ctok, cown, msg_val, ceps[i])
+                    nc = caches[:i] + (ncache,) + caches[i + 1:]
+                    out.append((
+                        f"send{i}->{dst}",
+                        mk(state, caches=nc, net=_add(net, msg)),
+                    ))
+            mtok, mown, mval = mem
+            if mtok > 0 and rec is None:
+                # Memory is mute while recreating (the implementation's
+                # guards) — otherwise it could emit current-epoch tokens
+                # that survive the reconstitution and break conservation.
+                for dst in range(self.n):
+                    msg = ("tok", dst, mtok, mown,
+                           mval if mown else None, epoch)
+                    out.append((
+                        f"mem->{dst}",
+                        mk(state, mem=(0, False, mval), net=_add(net, msg)),
+                    ))
+
+        # Deliveries; stale-epoch carriers are discarded on arrival.
+        # dict.fromkeys: dedup in sorted order for reproducibility.
+        for msg in dict.fromkeys(net):
+            if msg[0] != "tok":
+                continue
+            _k, dst, tokens, owner, value, ep = msg
+            nnet = _remove(net, msg)
+            if dst == MEM:
+                if ep < epoch:
+                    out.append(("stale_mem", mk(state, net=nnet)))
+                else:
+                    mtok, mown, mval = mem
+                    nmem = (mtok + tokens, mown or owner,
+                            value if owner else mval)
+                    out.append(("deliver_mem", mk(state, mem=nmem, net=nnet)))
+            elif ep < ceps[dst]:
+                out.append((f"stale{dst}", mk(state, net=nnet)))
+            else:
+                nc = list(caches)
+                nc[dst] = _absorb(caches[dst], tokens, owner, value)
+                out.append((
+                    f"deliver{dst}", mk(state, caches=tuple(nc), net=nnet),
+                ))
+
+        # Adversary: destroy an in-flight carrier / wipe a cache.
+        for msg in dict.fromkeys(net):
+            if msg[0] != "tok":
+                continue
+            nnet = _remove(net, msg)
+            if msg[5] == epoch:
+                nlost = (lost[0] + msg[2], lost[1] or msg[3])
+                out.append(("lose", mk(state, net=nnet, lost=nlost)))
+            else:
+                out.append(("lose_stale", mk(state, net=nnet)))
+        for i, (ctok, cown, _cval, _cdata) in enumerate(caches):
+            if ctok == 0 and not cown:
+                continue
+            nc = caches[:i] + ((0, False, False, 0),) + caches[i + 1:]
+            nlost = lost
+            if ceps[i] == epoch:
+                nlost = (lost[0] + ctok, lost[1] or cown)
+            out.append((f"crash{i}", mk(state, caches=nc, lost=nlost)))
+
+        # Recreation tier.  A starving processor escalates; memory bumps
+        # the epoch and broadcasts (control messages bypass the cap and
+        # are never lost, like the injector's recreation-class clamp).
+        if rec is None and any(w is not None for w in wants):
+            nnet = net
+            for site in range(self.n):
+                nnet = _add(nnet, ("epoch", site, epoch + 1))
+            out.append((
+                "recreate",
+                mk(state, net=nnet, epoch=epoch + 1, rec=frozenset()),
+            ))
+        for msg in dict.fromkeys(net):
+            if msg[0] == "epoch":
+                _k, site, ep = msg
+                nnet = _remove(net, msg)
+                if ep <= ceps[site]:
+                    out.append((f"epoch_dup{site}", mk(state, net=nnet)))
+                    continue
+                ctok, cown, cval, cdata = caches[site]
+                nc = caches[:site] + ((0, False, False, 0),) + caches[site + 1:]
+                nceps = ceps[:site] + (ep,) + ceps[site + 1:]
+                # Surrender: local destruction plus an ack; the owner's
+                # data rides on the ack (TOK_RECREATE_DATA).
+                ack = ("ack", site, ep, cdata if (cown and cval) else None)
+                out.append((
+                    f"surrender{site}",
+                    mk(state, caches=nc, net=_add(nnet, ack), ceps=nceps),
+                ))
+            elif msg[0] == "ack":
+                _k, site, ep, value = msg
+                nnet = _remove(net, msg)
+                if rec is None or ep != epoch:
+                    out.append(("ack_stale", mk(state, net=nnet)))
+                    continue
+                nmem = mem if value is None else (mem[0], mem[1], value)
+                nacked = rec | {site}
+                if len(nacked) == self.n:
+                    # Every cache surrendered: reconstitute the full set
+                    # and clear the ledger.
+                    nmem = (self.T, True, nmem[2])
+                    out.append((
+                        "recreate_done",
+                        mk(state, mem=nmem, net=nnet, rec=None,
+                           lost=(0, False)),
+                    ))
+                else:
+                    out.append((
+                        f"ack{site}",
+                        mk(state, mem=nmem, net=nnet, rec=nacked),
+                    ))
+        return out
+
+    # ------------------------------------------------------------------
+    def check_invariants(self, state) -> None:
+        caches, mem, net, wants, ceps, epoch, rec, lost = state
+        # Structural per-cache checks hold unconditionally.
+        for tok, own, valid, _value in caches:
+            if own and not valid:
+                raise VerificationError("owner without valid data")
+            if valid and tok == 0:
+                raise VerificationError("valid data without tokens")
+        if rec is not None:
+            return  # conservation is relaxed while recreating
+        total = mem[0] + lost[0]
+        owners = (1 if mem[1] else 0) + (1 if lost[1] else 0)
+        owner_value = mem[2] if mem[1] else None
+        for tok, own, _valid, value in caches:
+            total += tok
+            if own:
+                owners += 1
+                owner_value = value
+        for msg in net:
+            if msg[0] == "tok" and msg[5] == epoch:
+                total += msg[2]
+                if msg[3]:
+                    owners += 1
+                    owner_value = msg[4]
+        if total != self.T:
+            raise VerificationError(
+                f"token conservation broken: {total} != {self.T} "
+                f"(ledger {lost[0]})"
+            )
+        if owners != 1:
+            raise VerificationError(f"{owners} owner tokens")
+        if not lost[1]:  # a destroyed owner's unwritten value is gone
+            for tok, _own, valid, value in caches:
+                if valid and tok >= 1 and value != owner_value:
+                    raise VerificationError(
+                        f"stale reader: {value} != owner {owner_value}"
+                    )
+
+    def is_quiescent(self, state):
+        _caches, _mem, net, wants, _ceps, _epoch, rec, _lost = state
+        return not net and all(w is None for w in wants) and rec is None
+
+    def canonicalize(self, state):
+        """Rebase all epoch stamps relative to memory's current epoch.
+
+        ``ceps`` can lag by at most one (a new recreation starts only
+        after the previous one collected every ack), so cache lag clamps
+        at 1.  Carrier stamps two or more epochs old are behaviourally
+        identical — stale at memory, stale at every cache — so their age
+        clamps at 2.  Recreation control messages always carry the
+        current epoch.  After rebasing, memory's epoch is always 0 and
+        the space is closed under unbounded recreations.
+        """
+        caches, mem, net, wants, ceps, epoch, rec, lost = state
+        if epoch == 0:
+            return state
+        nceps = tuple(-min(epoch - e, 1) for e in ceps)
+        nnet = []
+        for msg in net:
+            if msg[0] == "tok":
+                nnet.append(msg[:5] + (-min(epoch - msg[5], 2),))
+            elif msg[0] == "epoch":
+                nnet.append((msg[0], msg[1], msg[2] - epoch))
+            else:  # ack
+                nnet.append((msg[0], msg[1], msg[2] - epoch, msg[3]))
+        return (caches, mem, tuple(sorted(nnet, key=repr)), wants,
+                nceps, 0, rec, lost)
 
 
 # ---------------------------------------------------------------------------

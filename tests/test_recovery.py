@@ -1,0 +1,273 @@
+"""Tests for the token-recreation recovery subsystem.
+
+Covers the protocol mechanics (epoch bump, surrender, reconstitution,
+stale-carrier discard), the recovery ledger, the crash injector, the
+lossy fault preset, and the guarantee that an idle recovery tier is
+behaviourally invisible on fault-free runs.
+"""
+
+import pytest
+
+from repro.common.params import SystemParams
+from repro.faults.crash import CrashInjector, CrashSpec
+from repro.faults.injector import FaultConfig
+from repro.faults.watchdog import (
+    InvariantMonitor,
+    LivenessWatchdog,
+    collect_diagnostics,
+)
+from repro.interconnect.message import Message, MsgType
+from repro.recovery import RecoveryLedger
+from repro.system.machine import Machine
+from repro.workloads import make_workload
+
+
+PROTO = "TokenCMP-dst1"
+
+
+def _counter_machine(seed, faults=None):
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    machine = Machine(params, PROTO, seed=seed, faults=faults)
+    workload = make_workload("counter", params, seed=seed, increments=4)
+    return machine, workload
+
+
+# ---------------------------------------------------------------------------
+# Protocol mechanics, driven message by message.
+# ---------------------------------------------------------------------------
+def test_recreate_request_bumps_epoch_and_reconstitutes():
+    """A TOK_RECREATE_REQ must bump the epoch, collect surrender acks from
+    every potential holder, reconstitute the full set at memory and grant
+    it to the starving requestor."""
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    machine = Machine(params, PROTO, seed=0)
+    machine.enable_recovery()
+    addr = 0x1000
+    requestor = params.l1d_of(0)
+    home = machine.mems[params.home_chip(addr)]
+    assert machine.block_epoch(addr) == 0
+
+    machine.net.send(Message(
+        mtype=MsgType.TOK_RECREATE_REQ, src=requestor,
+        dst=params.home_mem(addr), addr=addr, requestor=requestor, read=False,
+    ))
+    machine.sim.run()
+
+    assert machine.block_epoch(addr) == 1
+    assert home.is_recreating(addr) is False
+    assert machine.stats.get("recovery.recreations") == 1
+    assert machine.stats.get("recovery.completed") == 1
+    # The full set ended up at the requestor (E-analogue grant).
+    entry = machine.controllers[requestor].peek_entry(addr)
+    assert entry is not None
+    assert entry.tokens == params.tokens_per_block and entry.owner
+    machine.check_token_invariants()
+
+
+def test_stale_epoch_carrier_is_discarded_at_memory():
+    """Token carriers stamped with a closed epoch are dead on arrival —
+    absorbing them would double tokens the recreation already replaced."""
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    machine = Machine(params, PROTO, seed=0)
+    machine.enable_recovery()
+    addr = 0x1000
+    requestor = params.l1d_of(0)
+    home = machine.mems[params.home_chip(addr)]
+    machine.net.send(Message(
+        mtype=MsgType.TOK_RECREATE_REQ, src=requestor,
+        dst=params.home_mem(addr), addr=addr, requestor=requestor, read=False,
+    ))
+    machine.sim.run()
+    assert machine.block_epoch(addr) == 1
+
+    # A carrier from epoch 0 limps in afterwards.
+    machine.net.send(Message(
+        mtype=MsgType.TOK_ACK, src=params.l1d_of(3),
+        dst=params.home_mem(addr), addr=addr, tokens=3, epoch=0,
+    ))
+    machine.sim.run()
+    assert machine.stats.get("recovery.stale_discarded") == 1
+    assert machine.stats.get("recovery.stale_tokens") == 3
+    assert home.tokens_of(addr) == 0  # nothing absorbed; set lives at the L1
+    machine.check_token_invariants()
+
+
+def test_duplicate_recreate_request_rebroadcasts_instead_of_rebumping():
+    """A retry from a still-starving requestor must not open a second
+    epoch — it re-broadcasts the bump to the holdouts."""
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    machine = Machine(params, PROTO, seed=0)
+    machine.enable_recovery()
+    addr = 0x2000
+    requestor = params.l1d_of(1)
+    req = Message(
+        mtype=MsgType.TOK_RECREATE_REQ, src=requestor,
+        dst=params.home_mem(addr), addr=addr, requestor=requestor, read=True,
+    )
+    machine.net.send(req)
+    machine.net.send(req.clone_to(params.home_mem(addr)))
+    machine.sim.run()
+    assert machine.block_epoch(addr) == 1
+    assert machine.stats.get("recovery.recreations") == 1
+    machine.check_token_invariants()
+
+
+# ---------------------------------------------------------------------------
+# The recovery ledger.
+# ---------------------------------------------------------------------------
+def test_ledger_accounting():
+    ledger = RecoveryLedger()
+    ledger.destroy(0x40, tokens=3, owner=False)
+    ledger.destroy(0x40, tokens=2, owner=True, dirty=True)
+    ledger.destroy(0x80, tokens=1, owner=False)
+    assert ledger.deficit(0x40) == (5, True)
+    assert ledger.deficit(0x80) == (1, False)
+    assert ledger.residual_tokens() == 6
+    assert ledger.degraded_blocks() == (0x40, 0x80)
+    assert ledger.writes_lost == 1
+    assert ledger.owners_destroyed == 1
+    ledger.recreated(0x40)
+    assert ledger.deficit(0x40) == (0, False)
+    assert ledger.degraded_blocks() == (0x80,)
+    assert ledger.tokens_recreated == 5
+    assert ledger.tokens_destroyed == 6  # lifetime counter is monotonic
+
+
+# ---------------------------------------------------------------------------
+# Lossy fabric end to end.
+# ---------------------------------------------------------------------------
+def test_adversarial_lossy_preset():
+    cfg = FaultConfig.adversarial(0.1, lossy=True)
+    assert cfg.lossy
+    assert cfg.response.drop == 0.1
+    plain = FaultConfig.adversarial(0.1)
+    assert not plain.lossy
+    assert plain.response.drop == 0.0  # carriers stay clamped by default
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_lossy_run_destroys_tokens_and_recovers(seed):
+    machine, workload = _counter_machine(
+        seed, faults=FaultConfig.adversarial(0.05, lossy=True))
+    assert machine.recovery is not None  # lossy implies recovery enabled
+    LivenessWatchdog(machine, budget_ns=5_000_000.0, check_every_events=2000)
+    monitor = InvariantMonitor(machine, check_every_events=2000)
+    machine.run(workload, max_events=20_000_000)
+    machine.check_token_invariants()
+    assert machine.stats.get("faults.tokens_destroyed") > 0
+    assert machine.stats.get("recovery.recreations") >= 1
+    assert machine.stats.get("recovery.completed") == \
+        machine.stats.get("recovery.recreations")
+    assert monitor.checks > 0
+
+
+def test_lossy_runs_are_reproducible():
+    def once():
+        machine, workload = _counter_machine(
+            3, faults=FaultConfig.adversarial(0.05, lossy=True))
+        result = machine.run(workload, max_events=20_000_000)
+        return result.runtime_ps, dict(machine.stats.counters)
+
+    assert once() == once()
+
+
+# ---------------------------------------------------------------------------
+# Crash injection end to end.
+# ---------------------------------------------------------------------------
+def test_crash_spec_validation():
+    with pytest.raises(ValueError):
+        CrashSpec(level="l3", at_ps=1000)
+    with pytest.raises(ValueError):
+        CrashSpec(level="l1", at_ps=0)
+
+
+def test_crash_injector_wipes_then_recreation_pays_the_debt():
+    machine, workload = _counter_machine(1, faults=FaultConfig())
+    CrashInjector(machine, CrashSpec(level="l1", at_ps=500_000), seed=1)
+    assert machine.recovery is not None  # the injector enables recovery
+    InvariantMonitor(machine, check_every_events=2000)
+    machine.run(workload, max_events=20_000_000)
+    machine.check_token_invariants()
+    assert machine.stats.get("crash.fired") == 1
+    assert machine.stats.get("crash.tokens_wiped") > 0
+    assert machine.stats.get("recovery.recreations") >= 1
+    # Every wiped token was recreated: no residual degradation.
+    assert machine.recovery.residual_tokens() == 0
+    assert machine.recovery.degraded_blocks() == ()
+
+
+def test_crash_runs_are_reproducible():
+    def once():
+        machine, workload = _counter_machine(1, faults=FaultConfig())
+        CrashInjector(machine, CrashSpec(level="l1", at_ps=500_000), seed=1)
+        result = machine.run(workload, max_events=20_000_000)
+        return result.runtime_ps, dict(machine.stats.counters)
+
+    assert once() == once()
+
+
+# ---------------------------------------------------------------------------
+# The recovery tier is invisible unless something goes wrong.
+# ---------------------------------------------------------------------------
+def test_fault_free_run_with_recovery_enabled_is_behavior_neutral():
+    """enable_recovery() on a healthy machine must not change a single
+    counter or the runtime: timers are scheduled but never fire into
+    escalations, and no recovery message is ever sent."""
+
+    def once(enable):
+        machine, workload = _counter_machine(7)
+        if enable:
+            machine.enable_recovery()
+        result = machine.run(workload, max_events=20_000_000)
+        return result.runtime_ps, dict(machine.stats.counters)
+
+    assert once(False) == once(True)
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics integration.
+# ---------------------------------------------------------------------------
+def test_diagnostics_report_in_progress_recreations():
+    """While memory is waiting on surrender acks the liveness dump must
+    name the block, its epoch, and the outstanding ack count."""
+    params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
+    machine = Machine(params, PROTO, seed=0)
+    machine.enable_recovery()
+    addr = 0x3000
+    requestor = params.l1d_of(0)
+    machine.net.send(Message(
+        mtype=MsgType.TOK_RECREATE_REQ, src=requestor,
+        dst=params.home_mem(addr), addr=addr, requestor=requestor, read=False,
+    ))
+    # Step the clock until the bump registers but the acks have not all
+    # returned — the window where the block is mid-recreation.
+    home = machine.mems[params.home_chip(addr)]
+    t = 0
+    while not home.is_recreating(addr) and t < 5_000_000:
+        t += 1_000
+        machine.sim.run(until=t)
+    assert home.is_recreating(addr)
+    diag = collect_diagnostics(machine)
+    assert diag.recreation_pending
+    rendered = diag.render()
+    assert "recreating" in rendered and f"{addr:#x}" in rendered
+    machine.sim.run()  # let the recreation finish; leave the machine sane
+    machine.check_token_invariants()
+
+
+def test_diagnostics_render_caps_every_section():
+    from repro.faults.watchdog import LivenessDiagnostics
+
+    diag = LivenessDiagnostics(
+        now_ps=1000,
+        stalled_procs=[],
+        token_census={a: ["x: t=1"] for a in range(40)},
+        persistent_entries={"node": [f"e{i}" for i in range(40)]},
+        arbiter_queues={},
+        in_flight=[f"m{i}" for i in range(40)],
+        recreation_pending=[f"r{i}" for i in range(40)],
+        degraded_blocks=list(range(40)),
+    )
+    rendered = diag.render(max_blocks=4)
+    assert rendered.count("\n") < 40  # every section capped, none dumped whole
+    assert "more" in rendered

@@ -79,6 +79,10 @@ class TokenMemController:
             self._on_tokens(msg)
         elif t is MsgType.PERSIST_ACTIVATE:
             self._on_activate(msg)
+        elif t is MsgType.TOK_RECREATE_REQ:
+            self._on_recreate_req(msg)
+        elif t in (MsgType.TOK_RECREATE_ACK, MsgType.TOK_RECREATE_DATA):
+            self._on_recreate_ack(msg)
         else:
             raise ValueError(t)
 '''

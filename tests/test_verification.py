@@ -14,7 +14,9 @@ from repro.verification.dir_model import DirFlatModel
 from repro.verification.token_model import (
     TokenArbModel,
     TokenDstModel,
+    TokenRecreateModel,
     TokenSafetyModel,
+    _add,
 )
 
 
@@ -129,6 +131,77 @@ def test_token_arb_model_verifies_with_liveness():
         max_states=1_500_000,
     )
     assert result.liveness_checked
+
+
+def test_token_recreate_model_verifies_with_pinned_counts():
+    """The recreation recovery tier is safe under loss, crash and epoch bumps.
+
+    Counts are pinned exactly: any change to the recovery model's
+    reachable space (new transitions, changed stamping, a different
+    canonicalization) must be a conscious decision.
+    """
+    result = check(TokenRecreateModel(), max_states=100_000, check_liveness=False)
+    assert result.states == 17_640
+    assert result.transitions == 102_036
+    assert result.diameter == 31
+
+
+def test_seeded_bug_premature_recreation_completion_caught():
+    """Reconstituting tokens before every holder acked must be caught.
+
+    The safety argument for recreation is that memory waits for surrender
+    acks from *all* caches; completing one ack early leaves a laggard
+    holding live tokens next to the freshly minted full set.
+    """
+
+    class Broken(TokenRecreateModel):
+        name = "TokenCMP-recreate-premature"
+
+        def transitions(self, state):
+            out = []
+            for label, nxt in super().transitions(state):
+                if label.startswith("ack"):
+                    caches, mem, net, wants, ceps, epoch, rec, lost = nxt
+                    # BUG: declare victory once n-1 acks arrived.
+                    if rec is not None and len(rec) == self.n - 1:
+                        nxt = (caches, (self.T, True, mem[2]), net, wants,
+                               ceps, epoch, None, (0, False))
+                        label = "bad_done"
+                out.append((label, nxt))
+            return out
+
+    with pytest.raises(VerificationError, match="conservation"):
+        check(Broken(), max_states=500_000, check_liveness=False)
+
+
+def test_seeded_bug_memory_granting_during_recreation_caught():
+    """Memory must stay mute while a recreation is in flight.
+
+    Tokens granted mid-recreation carry the already-bumped epoch, survive
+    the reconstitution, and inflate the post-recovery census.
+    """
+
+    class Broken(TokenRecreateModel):
+        name = "TokenCMP-recreate-chatty-mem"
+
+        def transitions(self, state):
+            out = super().transitions(state)
+            caches, mem, net, wants, ceps, epoch, rec, lost = state
+            mtok, mown, mval = mem
+            # BUG: keep serving transient requests during recreation.
+            if rec is not None and mtok > 0 and len(net) < self.net_cap:
+                for dst in range(self.n):
+                    msg = ("tok", dst, mtok, mown,
+                           mval if mown else None, epoch)
+                    out.append((
+                        f"bad_mem->{dst}",
+                        self._mk(state, mem=(0, False, mval),
+                                 net=_add(net, msg)),
+                    ))
+            return out
+
+    with pytest.raises(VerificationError, match="conservation"):
+        check(Broken(), max_states=500_000, check_liveness=False)
 
 
 def test_flat_directory_model_verifies():
