@@ -1,13 +1,18 @@
-"""CMP-count scaling study (paper Section 8, inter-CMP bandwidth).
+"""CMP-count scaling studies (paper Section 8, inter-CMP bandwidth).
 
 The paper: "In a system with more CMPs, TokenCMP traffic results will be
 worse (unless multicast with destination set predictions is employed
-[24])."  This bench quantifies exactly that: inter-CMP bytes normalized
-to DirectoryCMP as the machine grows from 2 to 8 CMPs, with and without
-the destination-set-prediction multicast extension.
+[24])."  Two benches quantify exactly that:
 
-The grid is the ``scaling`` entry of :mod:`repro.exp.library`, also
-runnable as ``python -m repro bench scaling``.
+* ``test_scaling_traffic`` — the original 2/4/8-CMP sweep on the paper's
+  point-to-point fabric (``scaling`` in :mod:`repro.exp.library`);
+* ``test_scaling_big_mesh`` — the ROADMAP big-topology sweep: 8- and
+  16-CMP **mesh** machines at 8 processors per chip (hundreds of L1s),
+  reporting runtime, inter-CMP bytes, persistent-request activations and
+  the per-miss request fan-out (``scaling-big``).
+
+Both are also runnable as ``python -m repro bench scaling`` /
+``scaling-big``.
 """
 
 from __future__ import annotations
@@ -15,7 +20,10 @@ from __future__ import annotations
 import pytest
 
 from bench_common import emit, run_library
-from repro.exp.library import CHIP_COUNTS, scaling_grid
+from repro.exp.library import (
+    BIG_CHIP_COUNTS, CHIP_COUNTS, mesh_scaling_grid, request_fanout_per_miss,
+    scaling_grid,
+)
 from repro.interconnect.traffic import Scope
 
 
@@ -45,3 +53,39 @@ def test_scaling_traffic(benchmark):
     for chips in CHIP_COUNTS:
         res = grid[chips]
         assert res["TokenCMP-dst1"].runtime_ps < res["DirectoryCMP"].runtime_ps
+
+
+def run_big_experiment():
+    result, tables = run_library("scaling-big")
+    return mesh_scaling_grid(result, BIG_CHIP_COUNTS), tables
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_big_mesh(benchmark):
+    grid, tables = benchmark.pedantic(run_big_experiment, rounds=1, iterations=1)
+    emit("scaling_big_mesh", tables)
+
+    def rel_traffic(chips, proto):
+        res = grid[chips]
+        return (
+            res[proto].scope_bytes(Scope.INTER)
+            / res["DirectoryCMP"].scope_bytes(Scope.INTER)
+        )
+
+    for chips in BIG_CHIP_COUNTS:
+        # The Section-8 concession, quantified: broadcast token traffic
+        # dwarfs the directory's on big mesh machines...
+        assert rel_traffic(chips, "TokenCMP-dst1") > 2.0
+        # ... and destination-set multicast claws a large part back.
+        assert (rel_traffic(chips, "TokenCMP-dst1-mcast")
+                < rel_traffic(chips, "TokenCMP-dst1") / 2)
+        # Multicast also slashes persistent-request activations (fewer
+        # starved races once requests stop flooding every chip).
+        res = grid[chips]
+        assert (res["TokenCMP-dst1-mcast"].get("persistent.requests")
+                < res["TokenCMP-dst1"].get("persistent.requests"))
+    # The crossover signal: dst1's relative traffic *grows* with CMP
+    # count, and so does its per-miss request fan-out.
+    assert rel_traffic(16, "TokenCMP-dst1") > rel_traffic(8, "TokenCMP-dst1")
+    assert (request_fanout_per_miss(grid[16]["TokenCMP-dst1"])
+            > request_fanout_per_miss(grid[8]["TokenCMP-dst1"]))

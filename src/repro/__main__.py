@@ -10,6 +10,9 @@ Commands:
 * ``bench``   — run a named paper experiment through the engine
 * ``perf``    — run the kernel/network/end-to-end performance suite
   (``BENCH_perf.json``; see ``docs/performance.md``)
+* ``topo``    — list topology generators, or validate one for a chip
+  count and print its canonical link table (text or ``repro.topology/1``
+  JSON)
 * ``verify``  — model-check the protocol models (Section 5)
 * ``lint``    — run the protocol-aware static analysis passes over the
   simulator's own source (``docs/static-analysis.md``)
@@ -32,20 +35,42 @@ import sys
 from repro.common.params import SystemParams
 from repro.exp.runner import Runner, run_cell
 from repro.exp.spec import Cell
+from repro.interconnect.topology import GENERATORS, Topology
 from repro.interconnect.traffic import Scope
 from repro.system.config import PROTOCOLS
 from repro.workloads import REGISTRY, workload_entry
 
 
+def _auto_tokens(chips: int, procs: int) -> int:
+    """Smallest power-of-two token count valid for this machine size.
+
+    Keeps the Table-3 default (64) for the paper configurations and
+    scales it for big-topology sweeps, where the cache count exceeds it.
+    """
+    caches = chips * (2 * procs + 1)
+    tokens = 64
+    while tokens <= caches:
+        tokens *= 2
+    return tokens
+
+
+def _params_from_args(args) -> SystemParams:
+    return SystemParams(
+        num_chips=args.chips,
+        procs_per_chip=args.procs,
+        tokens_per_block=_auto_tokens(args.chips, args.procs),
+        topology=Topology.named(getattr(args, "topology", "ptp")),
+    )
+
+
 def _cell_from_args(args, protocol: str, check_invariants: bool = False) -> Cell:
-    params = SystemParams(num_chips=args.chips, procs_per_chip=args.procs)
     entry = workload_entry(args.workload)
     return Cell(
         protocol=protocol,
         workload=entry.name,
         workload_kwargs=entry.cli_kwargs(args),
         seed=args.seed,
-        params=params,
+        params=_params_from_args(args),
         check_invariants=check_invariants,
     )
 
@@ -94,13 +119,13 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     from repro.common.errors import ConfigError
-    from repro.system.machine import Machine
+    from repro.system.spec import MachineSpec
 
-    params = SystemParams(num_chips=args.chips, procs_per_chip=args.procs)
+    params = _params_from_args(args)
     cells = []
     for name in PROTOCOLS:
         try:
-            Machine(params, name, seed=args.seed)
+            MachineSpec(params=params, protocol=name, seed=args.seed).build()
         except ConfigError:
             continue  # e.g. SnoopingSCMP on a multi-chip machine
         cells.append(_cell_from_args(args, name))
@@ -132,7 +157,10 @@ def cmd_bench(args) -> int:
               f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
     exp = EXPERIMENTS[args.experiment]
-    runner = _runner(args, progress=lambda msg: print(f"... {msg}"))
+    # With --json, stdout is the machine-readable record stream (the CI
+    # determinism gate byte-compares it); progress notes go to stderr.
+    out = sys.stderr if args.json else sys.stdout
+    runner = _runner(args, progress=lambda msg: print(f"... {msg}", file=out))
     result = runner.run(exp.build())
     if args.json:
         print(result.to_json())
@@ -179,6 +207,52 @@ def cmd_trace(args) -> int:
     if profiler is not None:
         print()
         print(profiler.report())
+    return 0
+
+
+def cmd_topo(args) -> int:
+    import json
+
+    from repro.common.errors import ConfigError
+
+    if not args.generator:
+        print("topology generators:")
+        for name in sorted(GENERATORS):
+            _fn, desc = GENERATORS[name]
+            print(f"  {name:10s} {desc}")
+        return 0
+    try:
+        topo = Topology.named(args.generator)
+        params = SystemParams(
+            num_chips=args.chips,
+            procs_per_chip=args.procs,
+            tokens_per_block=_auto_tokens(args.chips, args.procs),
+            topology=topo,
+        )
+        # describe() validates: connectivity of every endpoint pair plus
+        # per-link bandwidth/latency sanity; failures exit 2.
+        doc = topo.build(params).describe()
+    except ConfigError as err:
+        print(f"topo: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    stats = doc["stats"]
+    print(f"generator  {doc['generator']} "
+          f"({args.chips} chips x {args.procs} procs)")
+    print(f"endpoints  {stats['endpoints']}")
+    print(f"vertices   {stats['vertices']}")
+    print(f"links      {stats['links']}")
+    print(f"diameter   {stats['diameter_hops']} hops "
+          f"(mean {stats['mean_hops']:.2f})")
+    print()
+    print(f"{'link':32s} {'scope':6s} {'lat(ns)':>8s} {'GB/s':>7s} buffer")
+    for link in doc["links"]:
+        buf = link["buffer_bytes"]
+        print(f"{link['name']:32s} {link['scope']:6s} "
+              f"{link['latency_ps'] / 1000:8.1f} {link['bytes_per_ns']:7.1f} "
+              f"{buf if buf is not None else '-'}")
     return 0
 
 
@@ -316,6 +390,9 @@ def main(argv=None) -> int:
         p.add_argument("workload", choices=sorted(REGISTRY))
         p.add_argument("--chips", type=int, default=4)
         p.add_argument("--procs", type=int, default=4)
+        p.add_argument("--topology", choices=sorted(GENERATORS), default="ptp",
+                       help="inter-CMP fabric generator (default: the "
+                            "paper's point-to-point network)")
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--ops", type=int, default=16,
                        help="acquires / phases / increments / rounds (x10 "
@@ -343,6 +420,17 @@ def main(argv=None) -> int:
     b.add_argument("--json", action="store_true",
                    help="emit structured CellResult records")
     _add_engine_flags(b)
+
+    t = sub.add_parser(
+        "topo", help="list or validate interconnect topology generators"
+    )
+    t.add_argument("generator", nargs="?", default="",
+                   help="generator name (omit to list); validates "
+                        "connectivity for --chips/--procs")
+    t.add_argument("--chips", type=int, default=4)
+    t.add_argument("--procs", type=int, default=4)
+    t.add_argument("--json", action="store_true",
+                   help="emit the canonical repro.topology/1 document")
 
     from repro.perf import add_arguments as _add_perf_arguments
 
@@ -403,6 +491,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "trace": cmd_trace,
         "bench": cmd_bench,
+        "topo": cmd_topo,
         "perf": cmd_perf,
         "verify": cmd_verify,
         "lint": cmd_lint,

@@ -11,6 +11,7 @@ import dataclasses
 
 from repro.common.errors import ConfigError
 from repro.common.types import NodeId, NodeKind, ns
+from repro.interconnect.topology import Topology
 
 
 @dataclasses.dataclass(frozen=True)
@@ -26,6 +27,10 @@ class SystemParams:
     num_chips: int = 4
     procs_per_chip: int = 4
     l2_banks_per_chip: int = 4
+    # Interconnect fabric shape (declarative; see repro.interconnect.topology).
+    # The default compiles to exactly the paper's Table-3 star/point-to-point
+    # machine; mesh/torus/fattree generators scale past it.
+    topology: Topology = dataclasses.field(default_factory=Topology)
 
     # Geometry.
     block_size: int = 64
@@ -63,6 +68,12 @@ class SystemParams:
             raise ConfigError("block_size must be a power of two")
         if self.l2_banks_per_chip < 1:
             raise ConfigError("need at least one L2 bank per chip")
+        if not isinstance(self.topology, Topology):
+            raise ConfigError(
+                "topology must be a repro.interconnect.topology.Topology "
+                "(e.g. Topology.mesh()); got "
+                f"{type(self.topology).__name__}"
+            )
         min_tokens = self.num_caches + 1
         if self.tokens_per_block < min_tokens:
             raise ConfigError(

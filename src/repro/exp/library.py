@@ -20,6 +20,7 @@ from repro.analysis.report import ResultTable
 from repro.common.params import SystemParams
 from repro.exp.runner import ExperimentResult
 from repro.exp.spec import Cell, ExperimentSpec
+from repro.interconnect.topology import Topology
 from repro.interconnect.traffic import Scope, TrafficClass
 
 # ---------------------------------------------------------------------------
@@ -331,6 +332,118 @@ def _render_scaling(result) -> List[ResultTable]:
 
 
 # ---------------------------------------------------------------------------
+# Big-topology scaling (ROADMAP: 8/16-CMP mesh sweeps — where does flat
+# token counting break down vs DirectoryCMP, and how much does the
+# multicast destination-set predictor claw back?).
+# ---------------------------------------------------------------------------
+
+BIG_CHIP_COUNTS = [8, 16]
+BIG_PROCS_PER_CHIP = 8
+BIG_SCALING_REFS = 40
+SMOKE_CHIPS = 8
+SMOKE_PROCS_PER_CHIP = 2
+SMOKE_REFS = 30
+
+
+def mesh_params(chips: int, procs: int) -> SystemParams:
+    """An ``chips``-CMP mesh machine with a valid power-of-two token count."""
+    caches = chips * (2 * procs + 1)
+    tokens = 64
+    while tokens <= caches:
+        tokens *= 2
+    return SystemParams(
+        num_chips=chips, procs_per_chip=procs,
+        tokens_per_block=tokens, topology=Topology.mesh(),
+    )
+
+
+def _mesh_scaling_spec(name: str, chip_counts: List[int], procs: int,
+                       refs: int) -> ExperimentSpec:
+    cells = []
+    for chips in chip_counts:
+        params = mesh_params(chips, procs)
+        for proto in SCALING_PROTOCOLS:
+            cells.append(Cell(
+                protocol=proto, workload="oltp",
+                workload_kwargs={"refs_per_proc": refs},
+                seed=1, params=params, label=str(chips),
+            ))
+    return ExperimentSpec(name=name, cells=tuple(cells))
+
+
+def _scaling_big_spec() -> ExperimentSpec:
+    return _mesh_scaling_spec("scaling-big", BIG_CHIP_COUNTS,
+                              BIG_PROCS_PER_CHIP, BIG_SCALING_REFS)
+
+
+def _scaling_smoke_spec() -> ExperimentSpec:
+    return _mesh_scaling_spec("scaling-smoke", [SMOKE_CHIPS],
+                              SMOKE_PROCS_PER_CHIP, SMOKE_REFS)
+
+
+def request_fanout_per_miss(res) -> float:
+    """Inter-CMP request messages per L1 miss (broadcast fan-out proxy).
+
+    Derived from existing traffic counters — request-class messages are
+    control-sized, so inter-CMP request bytes / control size counts the
+    inter-chip link crossings the protocol's request fan-out caused.
+    """
+    misses = res.get("l1.misses")
+    if not misses:
+        return 0.0
+    ctrl = SystemParams().control_msg_bytes
+    return res.breakdown(Scope.INTER)[TrafficClass.REQUEST] / ctrl / misses
+
+
+def mesh_scaling_grid(result: ExperimentResult, chip_counts: List[int]
+                      ) -> Dict[int, Dict[str, object]]:
+    return {
+        chips: result.by_protocol(SCALING_PROTOCOLS, label=str(chips))
+        for chips in chip_counts
+    }
+
+
+def _render_mesh_scaling(result: ExperimentResult, chip_counts: List[int],
+                         title: str) -> List[ResultTable]:
+    tables = []
+    grid = mesh_scaling_grid(result, chip_counts)
+    for chips in chip_counts:
+        res = grid[chips]
+        base = res["DirectoryCMP"]
+        table = ResultTable(
+            f"{title} - {chips} CMPs (mesh)",
+            ["protocol", "runtime(us)", "inter KB", "inter vs dir",
+             "persistent", "req fan-out/miss"],
+        )
+        for proto in SCALING_PROTOCOLS:
+            r = res[proto]
+            inter = r.scope_bytes(Scope.INTER)
+            table.add(
+                proto,
+                f"{r.runtime_ns / 1000:.1f}",
+                f"{inter / 1024:.0f}",
+                f"{inter / base.scope_bytes(Scope.INTER):.2f}",
+                r.get("persistent.requests"),
+                f"{request_fanout_per_miss(r):.2f}",
+            )
+        tables.append(table)
+    return tables
+
+
+def _render_scaling_big(result) -> List[ResultTable]:
+    return _render_mesh_scaling(
+        result, BIG_CHIP_COUNTS,
+        "Big-topology scaling - TokenCMP vs DirectoryCMP",
+    )
+
+
+def _render_scaling_smoke(result) -> List[ResultTable]:
+    return _render_mesh_scaling(
+        result, [SMOKE_CHIPS], "Mesh scaling smoke (CI determinism gate)",
+    )
+
+
+# ---------------------------------------------------------------------------
 # The registry.
 # ---------------------------------------------------------------------------
 
@@ -386,6 +499,16 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment(
             "scaling", "CMP-count scaling of inter-CMP traffic (Section 8)",
             _scaling_spec, _render_scaling,
+        ),
+        Experiment(
+            "scaling-big",
+            "8/16-CMP mesh scaling: runtime, traffic, fan-out (ROADMAP)",
+            _scaling_big_spec, _render_scaling_big,
+        ),
+        Experiment(
+            "scaling-smoke",
+            "small 8-CMP mesh sweep (CI determinism gate)",
+            _scaling_smoke_spec, _render_scaling_smoke,
         ),
     )
 }

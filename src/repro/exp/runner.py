@@ -22,7 +22,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.exp.cache import ResultCache
 from repro.exp.result import CellResult
 from repro.exp.spec import Cell, ExperimentSpec
-from repro.system.machine import Machine
 from repro.workloads import make_workload
 
 
@@ -40,12 +39,7 @@ def run_cell(cell: Cell, tracer=None, profiler=None) -> CellResult:
     kernel before the run; both are observational only — attaching them
     never changes the simulated outcome.
     """
-    machine = Machine(cell.params, cell.protocol, seed=cell.seed,
-                      faults=cell.faults)
-    if cell.crash is not None:
-        from repro.faults.crash import CrashInjector
-
-        CrashInjector(machine, cell.crash, seed=cell.seed)
+    machine = cell.machine.build()
     if tracer is not None:
         tracer.attach(machine.sim)
     if profiler is not None:

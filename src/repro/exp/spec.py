@@ -83,6 +83,24 @@ class Cell:
         """Only declaratively-described workloads can be hashed/pickled."""
         return isinstance(self.workload, str)
 
+    @property
+    def machine(self) -> "MachineSpec":
+        """The cell's machine construction recipe (the run-side half).
+
+        ``run_cell`` builds the machine via ``cell.machine.build()``; the
+        remaining cell fields describe the workload and the checkers that
+        ride on top of the built machine.
+        """
+        from repro.system.spec import MachineSpec
+
+        return MachineSpec(
+            params=self.params,
+            protocol=self.protocol,
+            seed=self.seed,
+            faults=self.faults,
+            crash=self.crash,
+        )
+
     # ------------------------------------------------------------------
     def key_material(self) -> Optional[dict]:
         """Everything the simulation outcome depends on, JSON-ready.

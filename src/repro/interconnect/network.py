@@ -16,6 +16,18 @@ egress of the source chip) -> (intra egress of the destination chip's
 interface), so it consumes bandwidth on every network it crosses, which
 is what the paper's traffic figures measure.
 
+Topologies
+----------
+
+The link structure is no longer hard-coded: ``params.topology`` (a
+declarative :class:`~repro.interconnect.topology.Topology` spec) compiles
+to a link graph, and routes are deterministic shortest paths over it.
+The default ``ptp`` topology compiles to exactly the Table-3 machine
+above, and for it the :meth:`_path` branch ladder is retained as the
+executable reference the route tests replay; mesh/torus/fat-tree
+fabrics have no ladder — the graph is the only statement of their
+routing.
+
 Hot-path design
 ---------------
 
@@ -23,8 +35,8 @@ Hot-path design
 precomputed at construction time:
 
 * a **route cache** — ``(src, dst) -> tuple[Link, ...]`` for every node
-  pair in the machine, built once from the :meth:`_path` branch ladder
-  (which stays as the executable reference the tests compare against);
+  pair in the machine, built once from the compiled topology graph
+  (checked against the :meth:`_path` ladder on the default topology);
 * a **size table** — ``MsgType -> bytes``, so sizing a message is one
   dict hit instead of a method call and branch;
 * **integer link serialization** — each :class:`Link` folds its
@@ -41,6 +53,7 @@ from repro.common.errors import ConfigError
 from repro.common.params import SystemParams
 from repro.common.types import NodeId, NodeKind
 from repro.interconnect.message import Message, MsgType
+from repro.interconnect.topology import LinkSpec, TopologyGraph
 from repro.interconnect.traffic import Scope, TrafficMeter
 from repro.sim.kernel import Simulator
 
@@ -93,6 +106,38 @@ class Link:
         return begin + ser + self.latency_ps
 
 
+class BufferedLink(Link):
+    """A link with a *diagnostic* egress-buffer capacity.
+
+    Queues stay unbounded (timing is identical to :class:`Link`); the
+    capacity only marks where backlog beyond the configured buffer would
+    have overflowed, surfaced via :meth:`Network.buffer_report`.
+    """
+
+    __slots__ = ("buffer_bytes", "peak_backlog_bytes", "overflow_events")
+
+    def __init__(self, name: str, scope: Scope, latency_ps: int,
+                 bytes_per_ns: float, buffer_bytes: int):
+        super().__init__(name, scope, latency_ps, bytes_per_ns)
+        self.buffer_bytes = buffer_bytes
+        self.peak_backlog_bytes = 0
+        self.overflow_events = 0
+
+    def traverse(self, start_ps: int, nbytes: int) -> int:
+        backlog_ps = self.busy_until - start_ps
+        if backlog_ps > 0:
+            # Bytes still queued ahead of this message, inferred from the
+            # time the link needs to drain them (serialization inverse).
+            backlog = backlog_ps * self._ser_den // self._ser_num + nbytes
+        else:
+            backlog = nbytes
+        if backlog > self.peak_backlog_bytes:
+            self.peak_backlog_bytes = backlog
+        if backlog > self.buffer_bytes:
+            self.overflow_events += 1
+        return super().traverse(start_ps, nbytes)
+
+
 Handler = Callable[[Message], None]
 
 
@@ -104,11 +149,19 @@ class Network:
         self.params = params
         self.meter = meter
         self._endpoints: Dict[NodeId, Handler] = {}
+        self.topology = params.topology
+        self.graph: TopologyGraph = self.topology.build(params)
+        self._links: Dict[str, Link] = {}
+        self._build_links()
+        # Legacy per-network tables, aliasing the same Link objects.
+        # Populated only on the default topology, where the :meth:`_path`
+        # branch ladder is still a valid statement of the routing rules.
         self._intra: Dict[NodeId, Link] = {}
         self._inter: Dict[int, Link] = {}
         self._mem_out: Dict[int, Link] = {}
         self._mem_in: Dict[int, Link] = {}
-        self._build_links()
+        if self.topology.is_default:
+            self._build_legacy_tables()
         # (src, dst) -> tuple of egress links, for every node pair in the
         # machine; lazily extended for pairs outside the enumeration
         # (tests register ad-hoc endpoints).
@@ -126,22 +179,32 @@ class Network:
         }
 
     def _build_links(self) -> None:
+        """Instantiate one :class:`Link` per compiled :class:`LinkSpec`."""
+        for name, spec in self.graph.links.items():
+            self._links[name] = self._make_link(spec)
+
+    @staticmethod
+    def _make_link(spec: LinkSpec) -> Link:
+        if spec.buffer_bytes is None:
+            return Link(spec.name, spec.scope, spec.latency_ps, spec.bytes_per_ns)
+        return BufferedLink(spec.name, spec.scope, spec.latency_ps,
+                            spec.bytes_per_ns, spec.buffer_bytes)
+
+    def _build_legacy_tables(self) -> None:
+        """Index the default topology's links by network, as PR-4 did.
+
+        The tables alias ``self._links`` (one physical link, two views)
+        and exist so the :meth:`_path` ladder — the executable oracle the
+        route tests replay — keeps working verbatim.
+        """
         p = self.params
         for chip in range(p.num_chips):
             nodes = p.chip_l1s(chip) + p.chip_l2_banks(chip) + [p.iface_of(chip)]
             for node in nodes:
-                self._intra[node] = Link(
-                    f"intra:{node}", Scope.INTRA, p.intra_link_latency_ps, p.intra_link_bw
-                )
-            self._inter[chip] = Link(
-                f"inter:{chip}", Scope.INTER, p.inter_link_latency_ps, p.inter_link_bw
-            )
-            self._mem_out[chip] = Link(
-                f"mem-out:{chip}", Scope.MEM, p.mem_link_latency_ps, p.mem_link_bw
-            )
-            self._mem_in[chip] = Link(
-                f"mem-in:{chip}", Scope.MEM, p.mem_link_latency_ps, p.mem_link_bw
-            )
+                self._intra[node] = self._links[f"intra:{node}"]
+            self._inter[chip] = self._links[f"inter:{chip}"]
+            self._mem_out[chip] = self._links[f"mem-out:{chip}"]
+            self._mem_in[chip] = self._links[f"mem-in:{chip}"]
 
     def _all_nodes(self) -> List[NodeId]:
         """Every addressable endpoint in the machine, for route building."""
@@ -158,17 +221,16 @@ class Network:
     def _build_routes(self) -> None:
         """Precompute the route for every (src, dst) node pair.
 
-        Built once at machine construction from the :meth:`_path` branch
-        ladder, so ``send`` never re-runs the ladder per message.  The
-        ladder itself is kept as the executable reference — the route
-        cache tests exhaustively compare every cached entry against it.
+        Built once at machine construction from the compiled topology
+        graph's deterministic shortest paths, so ``send`` never routes
+        per message.  On the default topology the :meth:`_path` branch
+        ladder remains the executable reference — the route cache tests
+        exhaustively compare every cached entry against it.
         """
-        nodes = self._all_nodes()
+        links = self._links
         routes = self._routes
-        path = self._path
-        for src in nodes:
-            for dst in nodes:
-                routes[(src, dst)] = tuple(path(src, dst))
+        for pair, names in self.graph.all_routes().items():
+            routes[pair] = tuple(links[name] for name in names)
 
     # ------------------------------------------------------------------
     def register(self, node: NodeId, handler: Handler) -> None:
@@ -186,7 +248,7 @@ class Network:
         nbytes = self._data_bytes if mtype.has_data else self._ctrl_bytes
         route = self._routes.get((msg.src, msg.dst))
         if route is None:  # ad-hoc endpoint outside the machine enumeration
-            route = tuple(self._path(msg.src, msg.dst))
+            route = self._route_fallback(msg.src, msg.dst)
             self._routes[(msg.src, msg.dst)] = route
         sim = self.sim
         arrival = sim._now
@@ -230,13 +292,28 @@ class Network:
         fault-injection wrappers use it to retire in-flight tracking)."""
 
     # ------------------------------------------------------------------
+    def _route_fallback(self, src: NodeId, dst: NodeId) -> Tuple[Link, ...]:
+        """Route a pair missing from the prebuilt table (ad-hoc endpoints
+        tests register).  The default topology replays the ladder —
+        exactly PR-4's lazy path; other topologies route on the graph."""
+        if self.topology.is_default:
+            return tuple(self._path(src, dst))
+        links = self._links
+        return tuple(links[name] for name in self.graph.route(src, dst))
+
     def _path(self, src: NodeId, dst: NodeId) -> List[Link]:
         """Egress links a message crosses from ``src`` to ``dst``.
 
-        The reference branch ladder.  ``send`` reads the precomputed
-        ``_routes`` table instead; this stays as the single statement of
-        the routing rules (and the oracle the route-cache tests replay).
+        The reference branch ladder for the *default* (``ptp``) topology.
+        ``send`` reads the precomputed ``_routes`` table instead; this
+        stays as the executable statement of the Table-3 routing rules
+        (and the oracle the route-cache tests replay against the graph).
         """
+        if not self.topology.is_default:
+            raise ConfigError(
+                f"_path describes the default ptp fabric only; "
+                f"topology {self.topology.generator!r} routes on the graph"
+            )
         if src == dst:
             return []
         p = self.params
@@ -252,7 +329,13 @@ class Network:
             links = [self._mem_in[src.chip]]
             if src.chip != dst.chip:
                 links.append(self._inter[src.chip])
-                links.append(self._intra[p.iface_of(dst.chip)])
+                # Same dst-IFACE exception as the cache-source branch
+                # below: the interface sits on the fabric, so delivery to
+                # it never re-crosses its own intra egress link.  (No
+                # traffic is affected — interfaces are routing points,
+                # never registered endpoints.)
+                if dst.kind is not NodeKind.IFACE:
+                    links.append(self._intra[p.iface_of(dst.chip)])
             return links
 
         if dst_mem:
@@ -274,8 +357,26 @@ class Network:
     # ------------------------------------------------------------------
     def link_utilization(self) -> Dict[str, int]:
         """Bytes carried per link (diagnostics)."""
-        out = {}
-        for table in (self._intra, self._inter, self._mem_out, self._mem_in):
-            for link in table.values():
-                out[link.name] = link.bytes_carried
+        out: Dict[str, int] = {}
+        if self.topology.is_default:
+            # Preserve the historical per-network iteration order.
+            for table in (self._intra, self._inter, self._mem_out, self._mem_in):
+                for link in table.values():
+                    out[link.name] = link.bytes_carried
+            return out
+        for name in sorted(self._links):
+            out[name] = self._links[name].bytes_carried
+        return out
+
+    def buffer_report(self) -> Dict[str, Dict[str, int]]:
+        """Overflow diagnostics for links declared with ``buffer_bytes``."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name in sorted(self._links):
+            link = self._links[name]
+            if isinstance(link, BufferedLink):
+                out[name] = {
+                    "buffer_bytes": link.buffer_bytes,
+                    "peak_backlog_bytes": link.peak_backlog_bytes,
+                    "overflow_events": link.overflow_events,
+                }
         return out

@@ -1,0 +1,528 @@
+"""Declarative interconnect topologies and graph-based routing.
+
+The paper's Table-3 machine hard-wires one fabric shape: a per-chip
+crossbar ("every on-chip component has one egress link"), a directly
+connected point-to-point global network, and one memory link per CMP.
+This module generalizes that into a declarative :class:`Topology` spec —
+a named *generator* plus frozen kwargs and per-link overrides — that
+compiles against a :class:`~repro.common.params.SystemParams` into a
+:class:`TopologyGraph`: a directed link graph over which deterministic
+shortest-path routes are computed for every endpoint pair.
+
+Generators (the inter-CMP fabric; the on-chip crossbar and the memory
+links are common scaffolding):
+
+``ptp``
+    The paper's directly connected global network: every chip interface
+    has one egress link onto the fabric (star through a zero-cost hub —
+    exactly the shape the :meth:`Network._path` branch ladder encodes,
+    which stays as the executable oracle for this generator).
+``mesh``
+    2D mesh of chips (near-square by default, ``rows``/``cols`` kwargs
+    override); each directed neighbor hop is its own link.
+``torus``
+    The mesh with wrap-around links in both dimensions.
+``fattree``
+    Chips grouped ``arity``-at-a-time under leaf switches, recursively
+    up to a single root; uplinks get ``up_bw_factor`` more bandwidth per
+    level (fatter toward the root).
+
+Determinism
+-----------
+
+Route construction must be byte-stable across processes and
+``PYTHONHASHSEED`` values: two runs of the same cell must route — and
+therefore time — every message identically.  All graph vertices are
+strings, adjacency lists are built in deterministic construction order,
+and the shortest-path search orders its frontier by the fully comparable
+tuple ``(link count, total latency, link-name path, vertex)``, so ties
+are broken lexicographically, never by hash order.
+
+Buffering overrides are *diagnostic*: links model unbounded
+store-and-forward queues, and a ``buffer_bytes`` capacity marks where
+backlog beyond the configured buffer would have overflowed (reported by
+:meth:`repro.interconnect.network.Network.buffer_report`), without
+changing message timing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.types import NodeId, NodeKind, ns
+from repro.interconnect.traffic import Scope
+
+#: Canonical JSON schema tag for the ``topo`` CLI link-table document.
+TOPOLOGY_SCHEMA = "repro.topology/1"
+
+
+@dataclasses.dataclass
+class LinkSpec:
+    """One physical link: name, network scope, latency, bandwidth.
+
+    ``buffer_bytes`` is an optional egress-queue capacity used for
+    overflow diagnostics (see module docstring); ``None`` = unbounded.
+    """
+
+    name: str
+    scope: Scope
+    latency_ps: int
+    bytes_per_ns: float
+    buffer_bytes: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.bytes_per_ns <= 0:
+            raise ConfigError(f"link {self.name!r}: bandwidth must be positive")
+        if self.latency_ps < 0:
+            raise ConfigError(f"link {self.name!r}: latency must be >= 0")
+        if self.buffer_bytes is not None and self.buffer_bytes <= 0:
+            raise ConfigError(f"link {self.name!r}: buffer_bytes must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scope": self.scope.value,
+            "latency_ps": self.latency_ps,
+            "bytes_per_ns": self.bytes_per_ns,
+            "buffer_bytes": self.buffer_bytes,
+        }
+
+
+class GraphBuilder:
+    """Accumulates vertices, links and directed edges for one topology.
+
+    Edges are ``(next_vertex, link_name | None)``; a ``None`` link is a
+    zero-cost hand-off inside a routing site (e.g. crossbar delivery to
+    the destination port), which is how the paper's per-source-egress
+    bandwidth accounting is expressed as a graph.
+    """
+
+    def __init__(self, params) -> None:
+        self.params = params
+        self.links: Dict[str, LinkSpec] = {}
+        self.adj: Dict[str, List[Tuple[str, Optional[str]]]] = {}
+        self.endpoints: Dict[NodeId, str] = {}
+        self._overrides: Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...] = ()
+
+    # ------------------------------------------------------------------
+    def endpoint(self, node: NodeId) -> str:
+        """Register ``node`` as an addressable endpoint; returns its vertex."""
+        vertex = str(node)
+        self.endpoints[node] = vertex
+        return vertex
+
+    def link(self, name: str, scope: Scope, latency_ps: int, bytes_per_ns: float,
+             buffer_bytes: Optional[int] = None) -> str:
+        """Declare (or re-reference) the link ``name``; returns the name.
+
+        One name = one physical link: routes that share a name share its
+        serialization queue.  Per-link overrides from the topology spec
+        are applied here, at declaration time.
+        """
+        if name in self.links:
+            return name
+        spec = LinkSpec(name, scope, latency_ps, bytes_per_ns, buffer_bytes)
+        for pattern, fields in self._overrides:
+            if fnmatch(name, pattern):
+                for field_name, value in fields:
+                    if field_name == "latency_ns":
+                        spec.latency_ps = ns(value)
+                    elif field_name == "bytes_per_ns":
+                        spec.bytes_per_ns = value
+                    elif field_name == "buffer_bytes":
+                        spec.buffer_bytes = value
+                    else:
+                        raise ConfigError(
+                            f"unknown link override field {field_name!r} "
+                            f"(want latency_ns, bytes_per_ns or buffer_bytes)"
+                        )
+        spec.validate()
+        self.links[name] = spec
+        return name
+
+    def edge(self, src: str, dst: str, link: Optional[str] = None) -> None:
+        """Add the directed edge ``src -> dst`` (free hop unless ``link``)."""
+        self.adj.setdefault(src, []).append((dst, link))
+        self.adj.setdefault(dst, [])
+
+
+# ---------------------------------------------------------------------------
+# Common scaffolding: the on-chip crossbar and the per-CMP memory site.
+# ---------------------------------------------------------------------------
+
+def _build_chip(b: GraphBuilder, chip: int) -> None:
+    """One CMP: crossbar star over L1s/L2 banks/interface + memory site.
+
+    Mirrors the Table-3 shapes the ladder encodes: every on-chip
+    component owns one intra egress link onto the chip crossbar
+    (``hub``), delivery from the crossbar is free, and the co-located
+    memory controller + persistent-request arbiter (``memsite``) hang
+    off dedicated ``mem-in``/``mem-out`` links.  The chip *interface*
+    additionally gets a direct ``mem-out`` edge: it sits at the fabric
+    boundary, one hop from the memory port.
+    """
+    p = b.params
+    hub = f"hub:{chip}"
+    memsite = f"memsite:{chip}"
+    for node in p.chip_l1s(chip) + p.chip_l2_banks(chip):
+        v = b.endpoint(node)
+        b.edge(v, hub, b.link(f"intra:{v}", Scope.INTRA,
+                              p.intra_link_latency_ps, p.intra_link_bw))
+        b.edge(hub, v)
+    iface = b.endpoint(p.iface_of(chip))
+    b.edge(iface, hub, b.link(f"intra:{iface}", Scope.INTRA,
+                              p.intra_link_latency_ps, p.intra_link_bw))
+    b.edge(hub, iface)
+    mem = b.endpoint(NodeId(NodeKind.MEM, chip))
+    arb = b.endpoint(NodeId(NodeKind.ARB, chip))
+    b.edge(mem, memsite)
+    b.edge(memsite, mem)
+    b.edge(arb, memsite)
+    b.edge(memsite, arb)
+    b.edge(memsite, hub, b.link(f"mem-in:{chip}", Scope.MEM,
+                                p.mem_link_latency_ps, p.mem_link_bw))
+    mem_out = b.link(f"mem-out:{chip}", Scope.MEM,
+                     p.mem_link_latency_ps, p.mem_link_bw)
+    b.edge(hub, memsite, mem_out)
+    b.edge(iface, memsite, mem_out)
+
+
+def _attach_gateways(b: GraphBuilder, gateways: Dict[int, str]) -> None:
+    """Wire each chip's fabric gateway: free delivery to the chip
+    interface, plus the chip's ``mem-out`` link to its memory site
+    (inbound memory traffic never crosses the on-chip crossbar)."""
+    p = b.params
+    for chip in range(p.num_chips):
+        gw = gateways[chip]
+        b.edge(gw, str(p.iface_of(chip)))
+        b.edge(gw, f"memsite:{chip}", f"mem-out:{chip}")
+
+
+# ---------------------------------------------------------------------------
+# Inter-CMP fabric generators.
+# ---------------------------------------------------------------------------
+
+def _gen_ptp(b: GraphBuilder) -> Dict[int, str]:
+    """Directly connected global network (the paper's Table-3 fabric)."""
+    p = b.params
+    hub = "ghub"
+    gateways = {}
+    for chip in range(p.num_chips):
+        b.edge(str(p.iface_of(chip)), hub,
+               b.link(f"inter:{chip}", Scope.INTER,
+                      p.inter_link_latency_ps, p.inter_link_bw))
+        gateways[chip] = hub
+    return gateways
+
+
+def grid_dims(num_chips: int, rows: Optional[int] = None,
+              cols: Optional[int] = None) -> Tuple[int, int]:
+    """Near-square grid for ``num_chips``; explicit dims must factor it."""
+    if rows is not None or cols is not None:
+        if rows is None:
+            rows = num_chips // cols if cols else 0
+        if cols is None:
+            cols = num_chips // rows if rows else 0
+        if rows < 1 or cols < 1 or rows * cols != num_chips:
+            raise ConfigError(
+                f"mesh dims {rows}x{cols} do not tile {num_chips} chips"
+            )
+        return rows, cols
+    rows = int(num_chips ** 0.5)
+    while rows > 1 and num_chips % rows:
+        rows -= 1
+    return rows, num_chips // rows
+
+
+def _gen_grid(b: GraphBuilder, wrap: bool, rows: Optional[int] = None,
+              cols: Optional[int] = None,
+              link_latency_ns: Optional[float] = None,
+              link_bw: Optional[float] = None) -> Dict[int, str]:
+    """2D mesh (``wrap=False``) or torus (``wrap=True``) of chips."""
+    p = b.params
+    rows, cols = grid_dims(p.num_chips, rows, cols)
+    latency = p.inter_link_latency_ps if link_latency_ns is None else ns(link_latency_ns)
+    bw = p.inter_link_bw if link_bw is None else link_bw
+
+    def chip_at(r: int, c: int) -> int:
+        return r * cols + c
+
+    gateways = {}
+    for chip in range(p.num_chips):
+        router = f"r:{chip}"
+        b.edge(str(p.iface_of(chip)), router)
+        gateways[chip] = router
+    for r in range(rows):
+        for c in range(cols):
+            here = chip_at(r, c)
+            neighbors = []
+            if c + 1 < cols:
+                neighbors.append(chip_at(r, c + 1))
+            elif wrap and cols > 2:
+                neighbors.append(chip_at(r, 0))
+            if r + 1 < rows:
+                neighbors.append(chip_at(r + 1, c))
+            elif wrap and rows > 2:
+                neighbors.append(chip_at(0, c))
+            for there in neighbors:
+                for a, z in ((here, there), (there, here)):
+                    b.edge(f"r:{a}", f"r:{z}",
+                           b.link(f"inter:{a}>{z}", Scope.INTER, latency, bw))
+    return gateways
+
+
+def _gen_mesh(b: GraphBuilder, **kwargs) -> Dict[int, str]:
+    return _gen_grid(b, wrap=False, **kwargs)
+
+
+def _gen_torus(b: GraphBuilder, **kwargs) -> Dict[int, str]:
+    return _gen_grid(b, wrap=True, **kwargs)
+
+
+def _gen_fattree(b: GraphBuilder, arity: int = 4,
+                 up_bw_factor: float = 2.0,
+                 link_latency_ns: Optional[float] = None,
+                 link_bw: Optional[float] = None) -> Dict[int, str]:
+    """Chips under leaf switches, recursively aggregated to one root.
+
+    Each level multiplies link bandwidth by ``up_bw_factor`` (fat links
+    toward the root); both directions of every switch-to-switch trunk
+    are modeled so down-traffic serializes too.
+    """
+    if arity < 2:
+        raise ConfigError(f"fat-tree arity must be >= 2 (got {arity})")
+    p = b.params
+    latency = p.inter_link_latency_ps if link_latency_ns is None else ns(link_latency_ns)
+    bw = p.inter_link_bw if link_bw is None else link_bw
+
+    gateways = {}
+    level = 0
+    members: List[str] = []
+    for chip in range(p.num_chips):
+        leaf = f"sw:0:{chip // arity}"
+        b.edge(str(p.iface_of(chip)), leaf,
+               b.link(f"fat:up:{chip}", Scope.INTER, latency, bw))
+        gateways[chip] = leaf
+    width = (p.num_chips + arity - 1) // arity
+    members = [f"sw:0:{i}" for i in range(width)]
+    while len(members) > 1:
+        level += 1
+        trunk_bw = bw * (up_bw_factor ** level)
+        width = (len(members) + arity - 1) // arity
+        parents = [f"sw:{level}:{i}" for i in range(width)]
+        for i, child in enumerate(members):
+            parent = parents[i // arity]
+            b.edge(child, parent,
+                   b.link(f"fat:up:{child}", Scope.INTER, latency, trunk_bw))
+            b.edge(parent, child,
+                   b.link(f"fat:down:{child}", Scope.INTER, latency, trunk_bw))
+        members = parents
+    return gateways
+
+
+#: Registered generators: name -> (builder fn, one-line description).
+GENERATORS = {
+    "ptp": (_gen_ptp, "directly connected point-to-point fabric (paper Table 3)"),
+    "mesh": (_gen_mesh, "2D mesh of chips (kwargs: rows, cols, link_latency_ns, link_bw)"),
+    "torus": (_gen_torus, "2D torus (mesh with wrap-around links)"),
+    "fattree": (_gen_fattree,
+                "fat-tree of switches (kwargs: arity, up_bw_factor, "
+                "link_latency_ns, link_bw)"),
+}
+
+
+# ---------------------------------------------------------------------------
+# The compiled graph.
+# ---------------------------------------------------------------------------
+
+class TopologyGraph:
+    """A compiled topology: link specs, adjacency, and shortest routes."""
+
+    def __init__(self, builder: GraphBuilder, generator: str) -> None:
+        self.generator = generator
+        self.params = builder.params
+        self.links: Dict[str, LinkSpec] = builder.links
+        self.adj: Dict[str, List[Tuple[str, Optional[str]]]] = builder.adj
+        self.endpoints: Dict[NodeId, str] = builder.endpoints
+        self._sssp_cache: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    def _sssp(self, src_vertex: str) -> Dict[str, Tuple[str, ...]]:
+        """Deterministic single-source shortest paths from ``src_vertex``.
+
+        Minimizes (link count, total latency) with ties broken by the
+        lexicographically smallest link-name path — a total order over
+        candidate routes, so the result is independent of dict/set hash
+        order and of ``PYTHONHASHSEED``.
+        """
+        cached = self._sssp_cache.get(src_vertex)
+        if cached is not None:
+            return cached
+        out: Dict[str, Tuple[str, ...]] = {}
+        heap: List[Tuple[int, int, Tuple[str, ...], str]] = [(0, 0, (), src_vertex)]
+        links = self.links
+        adj = self.adj
+        while heap:
+            nlinks, latency, names, vertex = heapq.heappop(heap)
+            if vertex in out:
+                continue
+            out[vertex] = names
+            for nxt, link_name in adj.get(vertex, ()):
+                if nxt in out:
+                    continue
+                if link_name is None:
+                    heapq.heappush(heap, (nlinks, latency, names, nxt))
+                else:
+                    spec = links[link_name]
+                    heapq.heappush(heap, (nlinks + 1, latency + spec.latency_ps,
+                                          names + (link_name,), nxt))
+        self._sssp_cache[src_vertex] = out
+        return out
+
+    def route(self, src: NodeId, dst: NodeId) -> Tuple[str, ...]:
+        """Link names a message crosses from endpoint ``src`` to ``dst``."""
+        try:
+            src_v = self.endpoints[src]
+            dst_v = self.endpoints[dst]
+        except KeyError as err:
+            raise ConfigError(f"{err.args[0]} is not a topology endpoint") from None
+        paths = self._sssp(src_v)
+        if dst_v not in paths:
+            raise ConfigError(
+                f"topology {self.generator!r} has no route {src} -> {dst}"
+            )
+        return paths[dst_v]
+
+    def all_routes(self) -> Dict[Tuple[NodeId, NodeId], Tuple[str, ...]]:
+        """Routes for every ordered endpoint pair (the Network's table)."""
+        routes = {}
+        for src in self.endpoints:
+            paths = self._sssp(self.endpoints[src])
+            for dst, dst_v in self.endpoints.items():
+                names = paths.get(dst_v)
+                if names is None:
+                    raise ConfigError(
+                        f"topology {self.generator!r} is not connected: "
+                        f"no route {src} -> {dst}"
+                    )
+                routes[(src, dst)] = names
+        return routes
+
+    # ------------------------------------------------------------------
+    def validate(self) -> dict:
+        """Check connectivity + link sanity; return summary statistics."""
+        for spec in self.links.values():
+            spec.validate()
+        hops = [len(names) for names in self.all_routes().values()]
+        return {
+            "endpoints": len(self.endpoints),
+            "vertices": len(self.adj),
+            "links": len(self.links),
+            "diameter_hops": max(hops),
+            "mean_hops": sum(hops) / len(hops),
+        }
+
+    def link_table(self) -> List[dict]:
+        """The canonical (name-sorted) link table."""
+        return [self.links[name].to_dict() for name in sorted(self.links)]
+
+    def describe(self) -> dict:
+        """The canonical ``repro.topology/1`` document."""
+        stats = self.validate()
+        return {
+            "schema": TOPOLOGY_SCHEMA,
+            "generator": self.generator,
+            "num_chips": self.params.num_chips,
+            "stats": stats,
+            "links": self.link_table(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The declarative spec.
+# ---------------------------------------------------------------------------
+
+def _freeze(value):
+    """Deep-freeze dicts/lists into sorted tuples (hashable, canonical)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class Topology:
+    """Declarative interconnect spec: generator name + kwargs + overrides.
+
+    Pure data — frozen, hashable, picklable, and JSON-representable via
+    :func:`dataclasses.asdict` — so it rides inside
+    :class:`~repro.common.params.SystemParams` and is content-addressed
+    by the experiment cache exactly like every other machine knob.
+
+    ``overrides`` is a tuple of ``(link-name glob, ((field, value), ...))``
+    pairs applied to matching links at compile time; fields are
+    ``latency_ns``, ``bytes_per_ns`` and ``buffer_bytes``.
+    """
+
+    generator: str = "ptp"
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    overrides: Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.generator not in GENERATORS:
+            raise ConfigError(
+                f"unknown topology generator {self.generator!r}; "
+                f"known: {', '.join(sorted(GENERATORS))}"
+            )
+        object.__setattr__(self, "kwargs", _freeze(dict(self.kwargs)))
+        object.__setattr__(
+            self, "overrides",
+            tuple((pattern, _freeze(dict(fields)))
+                  for pattern, fields in self.overrides),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def named(cls, generator: str, **kwargs) -> "Topology":
+        return cls(generator=generator, kwargs=_freeze(kwargs))
+
+    @classmethod
+    def mesh(cls, **kwargs) -> "Topology":
+        return cls.named("mesh", **kwargs)
+
+    @classmethod
+    def torus(cls, **kwargs) -> "Topology":
+        return cls.named("torus", **kwargs)
+
+    @classmethod
+    def fattree(cls, **kwargs) -> "Topology":
+        return cls.named("fattree", **kwargs)
+
+    def with_override(self, pattern: str, **fields) -> "Topology":
+        """A copy with ``fields`` applied to links matching ``pattern``."""
+        return dataclasses.replace(
+            self, overrides=self.overrides + ((pattern, _freeze(fields)),)
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """True when the :meth:`Network._path` ladder is a valid oracle
+        (the ptp generator builds exactly the ladder's link structure)."""
+        return self.generator == "ptp"
+
+    # ------------------------------------------------------------------
+    def build(self, params) -> TopologyGraph:
+        """Compile against ``params`` into a routed link graph."""
+        gen, _desc = GENERATORS[self.generator]
+        builder = GraphBuilder(params)
+        builder._overrides = self.overrides
+        for chip in range(params.num_chips):
+            _build_chip(builder, chip)
+        gateways = gen(builder, **dict(self.kwargs))
+        _attach_gateways(builder, gateways)
+        return TopologyGraph(builder, self.generator)

@@ -196,6 +196,60 @@ def _noop_handler(_msg) -> None:
     pass
 
 
+def bench_network_send_mesh(n_sends: int = 30_000,
+                            repeats: int = 3) -> Dict[str, object]:
+    """``Network.send`` throughput on an 8-CMP mesh (graph routing).
+
+    Same shape as :func:`bench_network_send` but on a multi-hop fabric
+    compiled by the declarative topology builder, so the regression gate
+    covers graph-routed construction + the route cache on long paths.
+    """
+    from repro.common.params import SystemParams
+    from repro.common.types import NodeId, NodeKind
+    from repro.interconnect.message import Message, MsgType
+    from repro.interconnect.network import Network
+    from repro.interconnect.topology import Topology
+    from repro.interconnect.traffic import TrafficMeter
+    from repro.sim.kernel import Simulator
+
+    best = None
+    total_bytes = 0
+    total_msgs = 0
+    for _ in range(repeats):
+        params = SystemParams(num_chips=8, procs_per_chip=2,
+                              tokens_per_block=64, topology=Topology.mesh())
+        sim = Simulator()
+        meter = TrafficMeter()
+        net = Network(sim, params, meter)
+        nodes = []
+        for chip in range(params.num_chips):
+            nodes += params.chip_l1s(chip) + params.chip_l2_banks(chip)
+        for chip in range(params.num_chips):
+            nodes.append(NodeId(NodeKind.MEM, chip))
+        for node in nodes:
+            net.register(node, _noop_handler)
+        src = nodes[0]
+        n_nodes = len(nodes)
+        msgs = [
+            Message(MsgType.TOK_DATA, src, nodes[i % n_nodes], addr=i * 64)
+            for i in range(n_sends)
+        ]
+        t0 = perf_counter()
+        for msg in msgs:
+            net.send(msg)
+        dt = perf_counter() - t0
+        total_bytes = sum(meter.bytes.values())
+        total_msgs = sum(meter.messages.values())
+        best = dt if best is None or dt < best else best
+    return {
+        "sends": n_sends,
+        "link_messages": total_msgs,
+        "link_bytes": total_bytes,
+        "wall_s": best,
+        "sends_per_sec": n_sends / best,
+    }
+
+
 # ----------------------------------------------------------------------
 # end-to-end benchmark
 # ----------------------------------------------------------------------
@@ -263,6 +317,9 @@ def run_suite(quick: bool = False,
     note("network_send ...")
     send = bench_network_send(
         n_sends=20_000 if quick else 50_000, repeats=repeats)
+    note("network_send_mesh ...")
+    send_mesh = bench_network_send_mesh(
+        n_sends=10_000 if quick else 30_000, repeats=repeats)
     note("e2e_fig6_smoke ...")
     e2e = bench_e2e_fig6_smoke(repeats=1 if quick else 3)
     return {
@@ -272,6 +329,7 @@ def run_suite(quick: bool = False,
             "kernel_chain": chain,
             "kernel_cancel": cancel,
             "network_send": send,
+            "network_send_mesh": send_mesh,
             "e2e_fig6_smoke": e2e,
         },
     }
@@ -283,6 +341,7 @@ DETERMINISTIC_FIELDS = {
     "kernel_chain": ("events",),
     "kernel_cancel": ("events", "watcher_ticks"),
     "network_send": ("sends", "link_messages", "link_bytes"),
+    "network_send_mesh": ("sends", "link_messages", "link_bytes"),
     "e2e_fig6_smoke": ("cell", "events", "runtime_ps", "metrics_sha256"),
 }
 

@@ -1,0 +1,5 @@
+"""System assembly: protocol configs, MachineSpec, and the Machine."""
+
+from repro.system.spec import MachineSpec
+
+__all__ = ["MachineSpec"]

@@ -1,17 +1,20 @@
 """Machine: a fully wired simulated M-CMP system plus run helpers.
 
-``Machine(params, protocol)`` builds every controller for the chosen
-protocol family on a fresh event kernel; :meth:`run` drives a workload to
-completion and returns a :class:`RunResult` with runtime and traffic.
+``MachineSpec(...).build()`` (see :mod:`repro.system.spec`) builds every
+controller for the chosen protocol family on a fresh event kernel;
+:meth:`run` drives a workload to completion and returns a
+:class:`RunResult` with runtime and traffic.  The legacy
+``Machine(params, protocol, ...)`` constructor survives as a deprecation
+shim around the spec.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Optional
 
-from repro.common.errors import DeadlockError, ProtocolError
-from repro.common.params import SystemParams
+from repro.common.errors import ConfigError, DeadlockError, ProtocolError
 from repro.common.stats import Stats
 from repro.common.types import NodeId, NodeKind, to_ns
 from repro.cpu.sequencer import Sequencer
@@ -19,7 +22,8 @@ from repro.cpu.thread import ProcThread
 from repro.interconnect.network import Network
 from repro.interconnect.traffic import Scope, TrafficMeter
 from repro.sim.kernel import Simulator
-from repro.system.config import ProtocolConfig, protocol as lookup_protocol
+from repro.system.config import ProtocolConfig
+from repro.system.spec import MachineSpec
 from repro.workloads.base import Workload
 
 
@@ -43,14 +47,37 @@ class RunResult:
 
 
 class Machine:
-    """One simulated M-CMP system."""
+    """One simulated M-CMP system.
 
-    def __init__(self, params: SystemParams, proto, seed: int = 0, faults=None):
+    Construct via ``MachineSpec(...).build()``.  Passing ``(params,
+    protocol, seed=, faults=)`` positionally still works but is
+    deprecated — the shim wraps them in a spec (note the spec's ``crash``
+    stays ``None`` on this path; the legacy flow armed
+    :class:`~repro.faults.crash.CrashInjector` separately).
+    """
+
+    def __init__(self, params, proto=None, seed: int = 0, faults=None):
+        if isinstance(params, MachineSpec):
+            if proto is not None or faults is not None or seed != 0:
+                raise ConfigError(
+                    "Machine(spec) takes no extra arguments; put protocol/"
+                    "seed/faults inside the MachineSpec"
+                )
+            spec = params
+        else:
+            warnings.warn(
+                "Machine(params, proto, seed=, faults=) is deprecated; "
+                "construct through repro.system.MachineSpec(...).build()",
+                DeprecationWarning, stacklevel=2,
+            )
+            spec = MachineSpec(params=params, protocol=proto, seed=seed,
+                               faults=faults)
+        self.spec = spec
+        params = spec.params
+        faults = spec.faults
         self.params = params
-        self.cfg: ProtocolConfig = (
-            proto if isinstance(proto, ProtocolConfig) else lookup_protocol(proto)
-        )
-        self.seed = seed
+        self.cfg: ProtocolConfig = spec.protocol
+        self.seed = spec.seed
         self.sim = Simulator()
         self.stats = Stats()
         self.meter = TrafficMeter()
@@ -60,7 +87,7 @@ class Machine:
             # any controller registers, so every endpoint is faultable.
             from repro.faults.injector import FaultyNetwork
 
-            net = FaultyNetwork(net, faults, seed=seed, stats=self.stats)
+            net = FaultyNetwork(net, faults, seed=spec.seed, stats=self.stats)
         self.net = net
         self.watchdog = None  # set by faults.watchdog.LivenessWatchdog
         self.recovery = None  # RecoveryLedger, set by enable_recovery()

@@ -44,7 +44,8 @@ def test_deterministic_stats_strip_timing_fields():
 
 def test_deterministic_fields_cover_every_suite_benchmark():
     assert set(DETERMINISTIC_FIELDS) == {
-        "kernel_chain", "kernel_cancel", "network_send", "e2e_fig6_smoke",
+        "kernel_chain", "kernel_cancel", "network_send", "network_send_mesh",
+        "e2e_fig6_smoke",
     }
 
 

@@ -1,19 +1,27 @@
-"""Route-cache tests: the precomputed table vs the `_path` branch ladder.
+"""Route tests: the graph-built cache vs the `_path` branch ladder.
 
 ``Network._build_routes`` precomputes ``(src, dst) -> tuple[Link, ...]``
-for every node pair at construction so ``send`` never re-runs the
-routing branch ladder per message.  The ladder (``Network._path``) stays
-in the code as the executable reference; these tests exhaustively replay
-it against the cache on 1-chip, 2-chip and the paper's 4x4 machine —
-including the IFACE/MEM/ARB corner cases the ladder special-cases.
+for every node pair at construction from the compiled topology graph, so
+``send`` never routes per message.  On the default (``ptp``) topology the
+ladder (``Network._path``) stays in the code as the executable reference;
+these tests exhaustively replay it against the graph-built cache on
+1-chip, 2-chip and the paper's 4x4 machine — including the
+IFACE/MEM/ARB corner cases the ladder special-cases — and pin that
+mesh/torus routing is independent of ``PYTHONHASHSEED``.
 """
+
+import os
+import subprocess
+import sys
 
 import pytest
 
+from repro.common.errors import ConfigError
 from repro.common.params import SystemParams
 from repro.common.types import NodeId, NodeKind
 from repro.interconnect.message import Message, MsgType
 from repro.interconnect.network import Network
+from repro.interconnect.topology import Topology
 from repro.interconnect.traffic import TrafficMeter
 from repro.sim.kernel import Simulator
 
@@ -139,3 +147,86 @@ def test_message_size_table_matches_payload_rule(config):
         expected = (params.data_msg_bytes if mtype.has_data
                     else params.control_msg_bytes)
         assert net._msg_size[mtype] == expected
+
+
+# ---------------------------------------------------------------------------
+# Graph routing vs the ladder, and non-default topologies.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_graph_route_names_equal_ladder_names_for_every_pair(config):
+    # Belt and braces over the cache test above: the compiled graph's
+    # link-name routes equal the ladder's, for every ordered pair.
+    net, _params = build(**CONFIGS[config])
+    for src in net._all_nodes():
+        for dst in net._all_nodes():
+            names = list(net.graph.route(src, dst))
+            assert names == [l.name for l in net._path(src, dst)], (src, dst)
+
+
+def test_mem_to_remote_iface_stops_at_the_inter_link():
+    # The dst-IFACE exception applies from memory-site sources too: the
+    # interface sits on the fabric, so delivery to it never re-crosses
+    # its own intra egress link (ladder and graph agree).
+    net, params = build(**CONFIGS["4x4"])
+    mem0 = NodeId(NodeKind.MEM, 0)
+    names = [l.name for l in net._routes[(mem0, params.iface_of(1))]]
+    assert names == ["mem-in:0", "inter:0"]
+
+
+def test_ladder_refuses_non_default_topologies():
+    params = SystemParams(num_chips=4, procs_per_chip=2,
+                          topology=Topology.mesh())
+    net = Network(Simulator(), params, TrafficMeter())
+    with pytest.raises(ConfigError):
+        net._path(params.l1d_of(0), params.l1d_of(2))
+
+
+def test_mesh_routes_take_multiple_inter_hops():
+    params = SystemParams(num_chips=8, procs_per_chip=2,
+                          topology=Topology.mesh())
+    net = Network(Simulator(), params, TrafficMeter())
+    # Mesh corners (2x4 grid: chips 0 and 7) are several hops apart.
+    names = [l.name for l in net._routes[(params.l1d_of(0),
+                                          params.l1d_of(15))]]
+    inter_hops = [n for n in names if n.startswith("inter:")]
+    assert len(inter_hops) >= 3
+    # Every hop goes router-to-adjacent-router (a>b edge labels).
+    for hop in inter_hops:
+        a, b = hop.split(":")[1].split(">")
+        assert abs(int(a) - int(b)) in (1, 4)
+
+
+_DIGEST_SNIPPET = """
+import hashlib, json
+from repro.common.params import SystemParams
+from repro.interconnect.topology import Topology
+params = SystemParams(num_chips=6, procs_per_chip=2,
+                      topology=Topology.named(%(gen)r))
+graph = params.topology.build(params)
+routes = {str(src) + '->' + str(dst): list(names)
+          for (src, dst), names in graph.all_routes().items()}
+blob = json.dumps(routes, sort_keys=True)
+print(hashlib.sha256(blob.encode()).hexdigest())
+"""
+
+
+@pytest.mark.parametrize("gen", ["mesh", "torus"])
+def test_routes_are_stable_across_hash_seeds(gen):
+    # Route construction must not depend on dict/set hash order: the
+    # same topology must route identically under different
+    # PYTHONHASHSEED values (and therefore across worker processes).
+    src_dir = os.path.join(os.path.dirname(__file__), "..", "src")
+    digests = set()
+    for seed in ("0", "1", "12345"):
+        env = dict(os.environ,
+                   PYTHONHASHSEED=seed,
+                   PYTHONPATH=src_dir + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""))
+        out = subprocess.run(
+            [sys.executable, "-c", _DIGEST_SNIPPET % {"gen": gen}],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        digests.add(out.stdout.strip())
+    assert len(digests) == 1, digests
