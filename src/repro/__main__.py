@@ -19,6 +19,12 @@ Commands:
 * ``faults``  — run the robustness battery under an adversarial network
 * ``campaign`` — run a declarative fault campaign (token recreation
   recovery scenarios), write a canonical ``repro.campaign/1`` report
+* ``telemetry`` — run one workload with time-series sampling on, write
+  the canonical ``repro.telemetry/1`` document and print the saturation
+  summary
+* ``diff``    — compare two canonical JSON documents (metrics,
+  telemetry, profiles) with per-counter deltas and ``GLOB:PCT``
+  regression gates
 * ``report``  — run the experiment battery, write markdown
 
 ``run``/``sweep``/``bench``/``faults``/``report`` all execute through the
@@ -63,7 +69,19 @@ def _params_from_args(args) -> SystemParams:
     )
 
 
-def _cell_from_args(args, protocol: str, check_invariants: bool = False) -> Cell:
+def _telemetry_from_args(args, force: bool = False):
+    """The cell's TelemetryConfig, or None when sampling is off."""
+    if not force and not getattr(args, "telemetry", False):
+        return None
+    from repro.obs.telemetry import TelemetryConfig
+
+    return TelemetryConfig(
+        sample_every_events=getattr(args, "telemetry_every", 4096)
+    )
+
+
+def _cell_from_args(args, protocol: str, check_invariants: bool = False,
+                    telemetry=None) -> Cell:
     entry = workload_entry(args.workload)
     return Cell(
         protocol=protocol,
@@ -72,7 +90,25 @@ def _cell_from_args(args, protocol: str, check_invariants: bool = False) -> Cell
         seed=args.seed,
         params=_params_from_args(args),
         check_invariants=check_invariants,
+        telemetry=telemetry,
     )
+
+
+def _emit_telemetry(result, out_path) -> None:
+    """Write/print one result's telemetry document (shared by commands)."""
+    from repro.obs.telemetry import render_saturation, write_telemetry
+
+    if result.telemetry is None:
+        return
+    print(render_saturation(result.telemetry))
+    if out_path:
+        import os
+
+        parent = os.path.dirname(out_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        write_telemetry(out_path, result.telemetry)
+        print(f"wrote {out_path}")
 
 
 def _runner(args, progress=None) -> Runner:
@@ -99,7 +135,10 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    result = run_cell(_cell_from_args(args, args.protocol, check_invariants=True))
+    result = run_cell(_cell_from_args(
+        args, args.protocol, check_invariants=True,
+        telemetry=_telemetry_from_args(args),
+    ))
     if args.json:
         print(result.to_json())
         return 0
@@ -114,6 +153,7 @@ def cmd_run(args) -> int:
     print(f"persistent {result.get('persistent.requests')}")
     print(f"intra      {result.scope_bytes(Scope.INTRA)} bytes")
     print(f"inter      {result.scope_bytes(Scope.INTER)} bytes")
+    _emit_telemetry(result, getattr(args, "telemetry_out", None))
     return 0
 
 
@@ -122,13 +162,14 @@ def cmd_sweep(args) -> int:
     from repro.system.spec import MachineSpec
 
     params = _params_from_args(args)
+    telemetry = _telemetry_from_args(args)
     cells = []
     for name in PROTOCOLS:
         try:
             MachineSpec(params=params, protocol=name, seed=args.seed).build()
         except ConfigError:
             continue  # e.g. SnoopingSCMP on a multi-chip machine
-        cells.append(_cell_from_args(args, name))
+        cells.append(_cell_from_args(args, name, telemetry=telemetry))
     runner = _runner(args)
     result = runner.run_cells(cells, name=f"sweep-{args.workload}")
     if args.json:
@@ -139,6 +180,10 @@ def cmd_sweep(args) -> int:
     print(f"{args.workload}: runtime normalized to DirectoryCMP")
     for name, runtime in sorted(runtimes.items(), key=lambda kv: kv[1]):
         print(f"  {name:22s} {runtime / base:6.2f}")
+    if telemetry is not None:
+        for res in result:
+            windows = len(res.telemetry["saturation"]) if res.telemetry else 0
+            print(f"  {res.protocol:22s} {windows} saturation window(s)")
     if result.cache_hits:
         print(f"  ({result.cache_hits}/{len(result)} cells from cache)")
     return 0
@@ -186,8 +231,11 @@ def cmd_trace(args) -> int:
     )
 
     tracer = Tracer()
-    profiler = KernelProfiler() if args.profile else None
-    cell = _cell_from_args(args, args.protocol)
+    profiler = (
+        KernelProfiler() if args.profile or args.profile_out else None
+    )
+    cell = _cell_from_args(args, args.protocol,
+                           telemetry=_telemetry_from_args(args))
     result = run_cell(cell, tracer=tracer, profiler=profiler)
     report = SpanBuilder().build(tracer.events)
     parent = os.path.dirname(args.trace_out)
@@ -207,7 +255,60 @@ def cmd_trace(args) -> int:
     if profiler is not None:
         print()
         print(profiler.report())
+        if args.profile_out:
+            import json
+
+            with open(args.profile_out, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(profiler.to_dict(), sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            print(f"wrote {args.profile_out}")
+    _emit_telemetry(result, getattr(args, "telemetry_out", None))
     return 0
+
+
+def cmd_telemetry(args) -> int:
+    from repro.obs.telemetry import validate_telemetry
+
+    cell = _cell_from_args(args, args.protocol,
+                           telemetry=_telemetry_from_args(args, force=True))
+    result = run_cell(cell)
+    validate_telemetry(result.telemetry)
+    if args.json:
+        from repro.obs.telemetry import render_telemetry
+
+        print(render_telemetry(result.telemetry), end="")
+        return 0
+    doc = result.telemetry
+    print(f"protocol   {args.protocol}")
+    print(f"workload   {args.workload}")
+    print(f"runtime    {result.runtime_ns:.1f} ns")
+    print(f"probes     {len(doc['probes'])} over {len(doc['links'])} links")
+    _emit_telemetry(result, args.telemetry_out)
+    return 0
+
+
+def cmd_diff(args) -> int:
+    import json
+
+    from repro.obs.diff import (
+        diff_report, parse_gate, render_diff_json, render_diff_report,
+    )
+
+    try:
+        gates = [parse_gate(text) for text in args.gate]
+        docs = []
+        for path in (args.a, args.b):
+            with open(path, encoding="utf-8") as fh:
+                docs.append(json.load(fh))
+    except (OSError, ValueError) as err:
+        print(f"diff: {err}", file=sys.stderr)
+        return 2
+    report = diff_report(docs[0], docs[1], gates)
+    if args.json:
+        print(render_diff_json(report), end="")
+    else:
+        print(render_diff_report(report, show_all=args.show_all))
+    return 0 if report["ok"] else 1
 
 
 def cmd_topo(args) -> int:
@@ -383,9 +484,9 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="show protocols, workloads and experiments")
 
-    for name in ("run", "sweep", "trace"):
+    for name in ("run", "sweep", "trace", "telemetry"):
         p = sub.add_parser(name, help=f"{name} a workload")
-        if name in ("run", "trace"):
+        if name in ("run", "trace", "telemetry"):
             p.add_argument("protocol", choices=sorted(PROTOCOLS))
         p.add_argument("workload", choices=sorted(REGISTRY))
         p.add_argument("--chips", type=int, default=4)
@@ -398,11 +499,24 @@ def main(argv=None) -> int:
                        help="acquires / phases / increments / rounds (x10 "
                             "refs for commercial workloads)")
         p.add_argument("--locks", type=int, default=32)
-        if name in ("run", "sweep"):
+        if name in ("run", "sweep", "telemetry"):
             p.add_argument("--json", action="store_true",
-                           help="emit structured CellResult records")
+                           help="emit structured CellResult records"
+                           if name != "telemetry" else
+                           "print the repro.telemetry/1 document to stdout")
         if name == "sweep":
             _add_engine_flags(p)
+        if name != "telemetry":
+            p.add_argument("--telemetry", action="store_true",
+                           help="sample time-series telemetry during the run")
+        p.add_argument("--telemetry-every", type=int, default=4096,
+                       help="sampling cadence in fired kernel events")
+        p.add_argument("--telemetry-out",
+                       default="benchmarks/results/telemetry.json"
+                       if name == "telemetry" else "",
+                       help="repro.telemetry/1 output path"
+                       + ("" if name == "telemetry"
+                          else " (empty: don't write)"))
         if name == "trace":
             p.add_argument("--trace-out",
                            default="benchmarks/results/trace.json",
@@ -411,8 +525,24 @@ def main(argv=None) -> int:
                            help="print the transaction-span latency report")
             p.add_argument("--profile", action="store_true",
                            help="profile kernel event handlers (wall time)")
+            p.add_argument("--profile-out", default="",
+                           help="write the profiler's deterministic "
+                                "repro.profile/1 projection (diffable)")
             p.add_argument("--validate", action="store_true",
                            help="schema-validate the trace before writing")
+
+    d = sub.add_parser(
+        "diff", help="compare two canonical JSON documents"
+    )
+    d.add_argument("a", help="baseline document (metrics/telemetry/profile)")
+    d.add_argument("b", help="candidate document")
+    d.add_argument("--gate", action="append", default=[], metavar="GLOB:PCT",
+                   help="fail (exit 1) when a key matching GLOB changes by "
+                        "more than PCT percent; repeatable")
+    d.add_argument("--json", action="store_true",
+                   help="emit the canonical repro.diff/1 report")
+    d.add_argument("--all", action="store_true", dest="show_all",
+                   help="show unchanged keys too")
 
     b = sub.add_parser("bench", help="run a named paper experiment")
     b.add_argument("experiment", nargs="?", default="",
@@ -497,6 +627,8 @@ def main(argv=None) -> int:
         "lint": cmd_lint,
         "faults": cmd_faults,
         "campaign": cmd_campaign,
+        "telemetry": cmd_telemetry,
+        "diff": cmd_diff,
         "report": cmd_report,
     }[args.command](args)
 

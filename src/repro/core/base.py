@@ -10,7 +10,7 @@ the paper exploits.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.common.params import SystemParams
 from repro.common.stats import Stats
@@ -65,6 +65,22 @@ class TokenCacheController:
     def peek_entry(self, addr: int) -> Optional[TokenEntry]:
         """Entry for ``addr`` without disturbing LRU (used by the ledger)."""
         return self.array.lookup(addr, touch=False)
+
+    def token_census(self) -> Tuple[int, int, int]:
+        """(cached blocks, tokens held, owner blocks) across the array.
+
+        Observational only (no LRU touch, no state change) — the
+        telemetry sampler aggregates these per cache level.
+        """
+        blocks = 0
+        tokens = 0
+        owners = 0
+        for _addr, entry in self.array.items():
+            blocks += 1
+            tokens += entry.tokens
+            if entry.owner:
+                owners += 1
+        return blocks, tokens, owners
 
     # ------------------------------------------------------------------
     # Message handling.

@@ -14,7 +14,7 @@ The L1 data cache is where processor misses turn into coherence activity:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.common.rng import substream
 from repro.common.types import NodeId, NodeKind
@@ -67,6 +67,12 @@ class TokenL1Controller(TokenCacheController):
 
     def _writeback_destination(self, addr: int) -> NodeId:
         return self.params.l2_bank(addr, self.chip)
+
+    def outstanding_tx(self) -> Tuple[int, int]:
+        """(outstanding transactions, of which persistent) — telemetry."""
+        total = len(self._tx)
+        persistent = sum(1 for tx in self._tx.values() if tx.persistent)
+        return total, persistent
 
     # ------------------------------------------------------------------
     # Processor interface.

@@ -79,6 +79,10 @@ class TokenMemController:
     def is_recreating(self, addr: int) -> bool:
         return addr in self._recreating
 
+    def pending_recreations(self) -> int:
+        """Number of in-progress recreation epochs (telemetry gauge)."""
+        return len(self._recreating)
+
     def recreating_blocks(self) -> Tuple[Tuple[int, int, int], ...]:
         """(addr, epoch, outstanding acks) per in-progress recreation."""
         return tuple(

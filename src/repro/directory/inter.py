@@ -52,6 +52,10 @@ class InterDirController:
         net.register(node, self.handle)
 
     # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of home directory lines ever touched — telemetry."""
+        return len(self.lines)
+
     def _line(self, addr: int) -> HomeLine:
         line = self.lines.get(addr)
         if line is None:

@@ -20,7 +20,7 @@ is what keeps the hierarchy deadlock-free.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.params import SystemParams
@@ -101,6 +101,10 @@ class IntraDirL2Controller:
     @property
     def chip(self) -> int:
         return self.node.chip
+
+    def occupancy(self) -> Tuple[int, int, int]:
+        """(L2 lines, outstanding external tx, evicting) — telemetry."""
+        return len(self.array), len(self._ext), len(self._evicting)
 
     def _home_mem(self, addr: int) -> NodeId:
         return self.params.home_mem(addr)

@@ -238,6 +238,36 @@ def _render_fig7(result) -> List[ResultTable]:
 
 
 # ---------------------------------------------------------------------------
+# The fig6 smoke cell: the pinned end-to-end determinism anchor.
+# ---------------------------------------------------------------------------
+
+SMOKE_CELL_PROTOCOL = "TokenCMP-dst1"
+SMOKE_CELL_WORKLOAD = "oltp"
+SMOKE_CELL_REFS = 120
+SMOKE_CELL_SEED = 1
+
+
+def fig6_smoke_cell(telemetry=None) -> Cell:
+    """One representative fig6 cell, pinned across PRs.
+
+    The perf suite's e2e benchmark, the determinism tests and the CI
+    telemetry-smoke job all run exactly this cell (metrics sha
+    ``8d0b5685...``, 163255 events), so any behavioral drift shows up as
+    one diff everywhere.  ``telemetry`` optionally attaches a
+    :class:`~repro.obs.telemetry.TelemetryConfig` — sampling is
+    observational, so the simulated outcome is identical either way.
+    """
+    return Cell(
+        protocol=SMOKE_CELL_PROTOCOL,
+        workload=SMOKE_CELL_WORKLOAD,
+        workload_kwargs={"refs_per_proc": SMOKE_CELL_REFS},
+        seed=SMOKE_CELL_SEED,
+        max_events=GRID_MAX_EVENTS,
+        telemetry=telemetry,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Hand-off latency (mechanism behind Figure 6).
 # ---------------------------------------------------------------------------
 
@@ -444,6 +474,72 @@ def _render_scaling_smoke(result) -> List[ResultTable]:
 
 
 # ---------------------------------------------------------------------------
+# Time-resolved saturation on the big mesh sweep: the same cells as
+# scaling-big, with telemetry sampling on — *which* links saturate, and
+# *when*, as non-multicast TokenCMP crosses over at 16 CMPs.
+# ---------------------------------------------------------------------------
+
+TELEMETRY_SAMPLE_EVERY = 4096
+
+
+def _scaling_telemetry_spec() -> ExperimentSpec:
+    from repro.obs.telemetry import TelemetryConfig
+
+    telemetry = TelemetryConfig(sample_every_events=TELEMETRY_SAMPLE_EVERY)
+    cells = []
+    for chips in BIG_CHIP_COUNTS:
+        params = mesh_params(chips, BIG_PROCS_PER_CHIP)
+        for proto in SCALING_PROTOCOLS:
+            cells.append(Cell(
+                protocol=proto, workload="oltp",
+                workload_kwargs={"refs_per_proc": BIG_SCALING_REFS},
+                seed=1, params=params, telemetry=telemetry,
+                label=str(chips),
+            ))
+    return ExperimentSpec(name="scaling-telemetry", cells=tuple(cells))
+
+
+def saturation_summary(doc: dict) -> Dict[str, object]:
+    """Window counts by kind plus the earliest-starting window."""
+    by_kind: Dict[str, int] = {}
+    first = None
+    for window in doc["saturation"]:
+        by_kind[window["kind"]] = by_kind.get(window["kind"], 0) + 1
+        if first is None or window["start_ps"] < first["start_ps"]:
+            first = window
+    return {"by_kind": by_kind, "first": first}
+
+
+def _render_scaling_telemetry(result: ExperimentResult) -> List[ResultTable]:
+    tables = []
+    grid = mesh_scaling_grid(result, BIG_CHIP_COUNTS)
+    for chips in BIG_CHIP_COUNTS:
+        table = ResultTable(
+            f"Saturation windows - {chips} CMPs (mesh, sampled every "
+            f"{TELEMETRY_SAMPLE_EVERY} events)",
+            ["protocol", "samples", "windows", "util", "backlog", "ptable",
+             "first saturated"],
+        )
+        for proto in SCALING_PROTOCOLS:
+            doc = grid[chips][proto].telemetry
+            summary = saturation_summary(doc)
+            kinds = summary["by_kind"]
+            first = summary["first"]
+            table.add(
+                proto,
+                len(doc["t_ps"]),
+                len(doc["saturation"]),
+                kinds.get("link-utilization", 0),
+                kinds.get("backlog-growth", 0),
+                kinds.get("ptable-near-full", 0),
+                f"{first['subject']} @ {first['start_ps'] / 1e6:.1f} us"
+                if first else "-",
+            )
+        tables.append(table)
+    return tables
+
+
+# ---------------------------------------------------------------------------
 # The registry.
 # ---------------------------------------------------------------------------
 
@@ -509,6 +605,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "scaling-smoke",
             "small 8-CMP mesh sweep (CI determinism gate)",
             _scaling_smoke_spec, _render_scaling_smoke,
+        ),
+        Experiment(
+            "scaling-telemetry",
+            "8/16-CMP mesh sweep with time-series telemetry (saturation)",
+            _scaling_telemetry_spec, _render_scaling_telemetry,
         ),
     )
 }

@@ -32,6 +32,10 @@ class CellResult:
     summaries: Dict[str, Dict[str, float]]
     label: str = ""
     cache_key: Optional[str] = None
+    # repro.telemetry/1 document, present only when the cell enabled
+    # sampling (kept out of to_dict otherwise so pre-telemetry records
+    # and cache entries stay byte-identical).
+    telemetry: Optional[dict] = None
     # Bookkeeping, not part of the record (or of equality):
     from_cache: bool = dataclasses.field(default=False, compare=False)
     # The in-process RunResult (machine attached); only populated for
@@ -89,7 +93,7 @@ class CellResult:
         # Built explicitly (not dataclasses.asdict) so the record never
         # recurses into ``raw`` — the RunResult drags the whole Machine
         # (simulator, generators, fault proxies) behind it.
-        return {
+        record = {
             "protocol": self.protocol,
             "workload": self.workload,
             "seed": self.seed,
@@ -100,6 +104,9 @@ class CellResult:
             "label": self.label,
             "cache_key": self.cache_key,
         }
+        if self.telemetry is not None:
+            record["telemetry"] = self.telemetry
+        return record
 
     def to_json(self) -> str:
         """Canonical JSON — the determinism contract's unit of comparison."""

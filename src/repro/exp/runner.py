@@ -44,6 +44,11 @@ def run_cell(cell: Cell, tracer=None, profiler=None) -> CellResult:
         tracer.attach(machine.sim)
     if profiler is not None:
         profiler.attach(machine.sim)
+    sampler = None
+    if cell.telemetry is not None:
+        from repro.obs.telemetry import TelemetrySampler
+
+        sampler = TelemetrySampler(cell.telemetry).attach(machine)
     watchdog = monitor = None
     if cell.watchdog_budget_ns is not None:
         from repro.faults.watchdog import LivenessWatchdog
@@ -81,7 +86,17 @@ def run_cell(cell: Cell, tracer=None, profiler=None) -> CellResult:
         counters["recovery.writes_lost"] = ledger.writes_lost
         counters["recovery.tokens_destroyed"] = ledger.tokens_destroyed
         counters["recovery.tokens_recreated"] = ledger.tokens_recreated
-    return CellResult.from_run(run_result, cell)
+    telemetry_doc = None
+    if sampler is not None:
+        telemetry_doc = sampler.finalize()
+        counters = run_result.stats.counters
+        counters["telemetry.ticks"] = sampler.ticks
+        counters["telemetry.saturation_windows"] = len(
+            telemetry_doc["saturation"]
+        )
+    result = CellResult.from_run(run_result, cell)
+    result.telemetry = telemetry_doc
+    return result
 
 
 def _run_cell_worker(cell: Cell) -> CellResult:

@@ -52,6 +52,9 @@ class Cell:
     watchdog_check_every: Optional[int] = None
     invariant_check_every: Optional[int] = None
     check_invariants: bool = False
+    # repro.obs.telemetry.TelemetryConfig; sampling is observational but
+    # the result carries the telemetry document, so it is part of the key.
+    telemetry: Optional[object] = None
     # Free-form grouping tag (e.g. a lock count or chip count); not part
     # of the cache key because it cannot affect the simulation.
     label: str = ""
@@ -128,6 +131,8 @@ class Cell:
         # any cached result) they had before the field existed.
         if self.crash is not None:
             material["crash"] = dataclasses.asdict(self.crash)
+        if self.telemetry is not None:
+            material["telemetry"] = dataclasses.asdict(self.telemetry)
         return material
 
 

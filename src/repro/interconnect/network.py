@@ -355,6 +355,15 @@ class Network:
         return links
 
     # ------------------------------------------------------------------
+    def links_by_name(self) -> Dict[str, Link]:
+        """Read-only view of every physical link, keyed by name.
+
+        The canonical enumeration surface for observers (the telemetry
+        sampler probes each link's counters through this); callers must
+        not mutate the returned links.
+        """
+        return dict(self._links)
+
     def link_utilization(self) -> Dict[str, int]:
         """Bytes carried per link (diagnostics)."""
         out: Dict[str, int] = {}

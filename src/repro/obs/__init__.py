@@ -27,13 +27,32 @@ interconnect, the coherence controllers and the experiment engine:
   time, fired-event histograms) built on the kernel's profiler and
   watcher hooks.
 
+* :mod:`repro.obs.telemetry` — time-series telemetry: a sampler on the
+  kernel watcher hook snapshots link/controller/recovery gauges into
+  ring-buffered series (``repro.telemetry/1``) and a saturation detector
+  flags sustained hot windows.
+
+* :mod:`repro.obs.diff` — cross-run comparison of canonical JSON
+  documents (metrics, telemetry, profiles) with per-counter deltas and
+  ``GLOB:PCT`` regression gates (``python -m repro diff``).
+
 See ``docs/observability.md`` for the trace schema and a Perfetto how-to.
 """
 
+from repro.obs.diff import DIFF_SCHEMA, diff_report, render_diff_report
 from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.metrics import METRICS_SCHEMA, cell_metrics, validate_metrics
 from repro.obs.profile import KernelProfiler
 from repro.obs.spans import Span, SpanBuilder, SpanReport
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    TelemetryConfig,
+    TelemetrySampler,
+    render_telemetry,
+    saturation_windows,
+    validate_telemetry,
+    write_telemetry,
+)
 from repro.obs.trace import KINDS, TraceEvent, Tracer
 
 __all__ = [
@@ -50,4 +69,14 @@ __all__ = [
     "cell_metrics",
     "validate_metrics",
     "KernelProfiler",
+    "TELEMETRY_SCHEMA",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "render_telemetry",
+    "saturation_windows",
+    "validate_telemetry",
+    "write_telemetry",
+    "DIFF_SCHEMA",
+    "diff_report",
+    "render_diff_report",
 ]

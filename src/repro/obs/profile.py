@@ -82,6 +82,26 @@ class KernelProfiler:
         rows.sort(key=lambda row: (-row[2], row[0]))
         return rows[:n]
 
+    def to_dict(self) -> dict:
+        """Deterministic projection of the profile.
+
+        Wall-clock fields (total/max ns per site, the rate snapshots'
+        wall column) are *excluded* — what remains (per-site fired-event
+        counts and the ``(sim ps, events fired)`` rate checkpoints) is a
+        pure function of the simulation, so the projection can ride the
+        canonical-JSON path and be compared across runs with
+        ``python -m repro diff``, exactly like PR 5's CheckResult.
+        """
+        return {
+            "schema": "repro.profile/1",
+            "sites": {
+                site: cell[0] for site, cell in sorted(self.sites.items())
+            },
+            "events_profiled": self.events_profiled,
+            "rate_every_events": self.rate_every_events,
+            "rates": [[sim_ps, fired] for sim_ps, fired, _wall in self._rates],
+        }
+
     def report(self, top: int = 20) -> str:
         """Human-readable profile: hot callback sites + simulation rate."""
         lines = [

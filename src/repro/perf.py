@@ -41,7 +41,9 @@ from typing import Dict, List, Optional
 SCHEMA = "repro.bench_perf/1"
 
 # The fig6 smoke cell: must stay in lockstep with the determinism tests
-# so the metrics hash below is comparable across harness versions.
+# so the metrics hash below is comparable across harness versions.  The
+# cell itself now lives in repro.exp.library.fig6_smoke_cell (shared with
+# the CI telemetry-smoke job); these constants remain its pinned identity.
 E2E_PROTOCOL = "TokenCMP-dst1"
 E2E_WORKLOAD = "oltp"
 E2E_REFS_PER_PROC = 120
@@ -261,16 +263,10 @@ def bench_e2e_fig6_smoke(repeats: int = 3) -> Dict[str, object]:
     canonical metrics JSON — the same digest the determinism tests pin,
     so *any* behavioural drift in the optimised hot path shows up here.
     """
+    from repro.exp.library import fig6_smoke_cell
     from repro.exp.runner import run_cell
-    from repro.exp.spec import Cell
 
-    cell = Cell(
-        protocol=E2E_PROTOCOL,
-        workload=E2E_WORKLOAD,
-        workload_kwargs={"refs_per_proc": E2E_REFS_PER_PROC},
-        seed=E2E_SEED,
-        max_events=120_000_000,
-    )
+    cell = fig6_smoke_cell()
     best = None
     events = 0
     runtime_ps = 0

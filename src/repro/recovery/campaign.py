@@ -128,6 +128,10 @@ class CampaignConfig:
     max_events: int = 20_000_000
     watchdog_budget_ns: float = 5_000_000.0
     invariant_check_every: int = 2_000
+    # When set, every cell samples time-series telemetry at this cadence
+    # (fired kernel events) and saturation windows ride into the verdict
+    # counters.
+    telemetry_sample_every: Optional[int] = None
 
     @classmethod
     def from_dict(cls, record: dict) -> "CampaignConfig":
@@ -157,6 +161,9 @@ class CampaignConfig:
                 invariant_check_every=record.get(
                     "invariant_check_every", cls.invariant_check_every
                 ),
+                telemetry_sample_every=record.get(
+                    "telemetry_sample_every", cls.telemetry_sample_every
+                ),
             )
         except (KeyError, TypeError) as err:
             raise ConfigError(f"bad campaign config: {err}") from err
@@ -169,6 +176,13 @@ class CampaignConfig:
     # ------------------------------------------------------------------
     def expand(self) -> List[Tuple[Scenario, Cell]]:
         """The scenario grid in canonical order: scenario, workload, seed."""
+        telemetry = None
+        if self.telemetry_sample_every is not None:
+            from repro.obs.telemetry import TelemetryConfig
+
+            telemetry = TelemetryConfig(
+                sample_every_events=self.telemetry_sample_every
+            )
         out: List[Tuple[Scenario, Cell]] = []
         for scenario in self.scenarios:
             for wl_name, wl_kwargs in self.workloads:
@@ -188,6 +202,7 @@ class CampaignConfig:
                                 watchdog_budget_ns=self.watchdog_budget_ns,
                                 invariant_check_every=self.invariant_check_every,
                                 check_invariants=True,
+                                telemetry=telemetry,
                                 label=scenario.name,
                             ),
                         )
@@ -288,6 +303,8 @@ _CELL_COUNTERS = (
     "crash.tokens_wiped",
     "watchdog.trips",
     "invariant.checks",
+    "telemetry.ticks",
+    "telemetry.saturation_windows",
 )
 
 

@@ -10,6 +10,7 @@ The load-bearing contracts:
 """
 
 import json
+import os
 
 import pytest
 
@@ -303,3 +304,91 @@ def test_cli_trace_writes_valid_deterministic_file(tmp_path, capsys):
     assert main(argv + ["--trace-out", str(out2)]) == 0
     assert out1.read_bytes() == out2.read_bytes()
     validate_chrome_trace(json.loads(out1.read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Trace-kind registry is closed: every emitted kind is registered, every
+# registered kind has an emitter, and the exporter renders all of them.
+# ---------------------------------------------------------------------------
+def _emitted_kind_literals():
+    """Every string literal passed to ``.emit("...")`` anywhere in src."""
+    import re
+
+    src_root = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+    kinds = set()
+    for dirpath, _dirs, files in sorted(os.walk(src_root)):
+        for fname in sorted(files):
+            if not fname.endswith(".py"):
+                continue
+            with open(os.path.join(dirpath, fname)) as fh:
+                text = fh.read()
+            kinds.update(re.findall(r'\.emit\(\s*"([a-z._]+)"', text))
+            # The fault helper builds its kind from an action argument
+            # (tracer.fault("drop", ...) -> "fault.drop").
+            kinds.update(
+                f"fault.{action}"
+                for action in re.findall(r'\.fault\(\s*"([a-z]+)"', text)
+            )
+    return kinds
+
+
+def test_every_emit_site_uses_a_registered_kind():
+    emitted = _emitted_kind_literals()
+    assert emitted, "expected emit sites in src/repro"
+    unregistered = emitted - KINDS
+    assert not unregistered, f"emit sites with unregistered kinds: {unregistered}"
+
+
+def test_every_registered_kind_has_an_emit_site():
+    # KINDS must not accrete dead entries: each registered kind is
+    # produced somewhere (typed Tracer helper or direct emit).
+    orphans = KINDS - _emitted_kind_literals()
+    assert not orphans, f"registered kinds with no emitter: {orphans}"
+
+
+def test_recovery_kinds_are_registered():
+    # The kinds added with the recovery subsystem (crash injection and
+    # token recreation) are first-class registry members.
+    assert {
+        "fault.crash", "tx.recreate", "recreate.epoch",
+        "recreate.surrender", "recreate.stale", "recreate.done",
+    } <= KINDS
+
+
+def test_chrome_trace_renders_every_kind():
+    # Synthetic one-event-per-kind trace: the exporter must type every
+    # registered kind (no untyped fall-through) and validate cleanly.
+    node = NodeId(NodeKind.L1D, 0, 0)
+    events = [
+        TraceEvent(ts_ps=1000 * i, kind=kind, node=node, addr=0x40,
+                   fields={"i": i})
+        for i, kind in enumerate(sorted(KINDS))
+    ]
+    doc = chrome_trace(events)
+    validate_chrome_trace(doc)
+    instants = [ev for ev in doc["traceEvents"] if ev["ph"] == "i"]
+    assert {ev["name"] for ev in instants} == KINDS
+    for ev in instants:
+        assert ev["cat"] == ev["name"].split(".", 1)[0]
+
+
+def test_crash_run_traces_full_recovery_lifecycle():
+    from repro.faults.crash import CrashSpec
+
+    tracer = Tracer()
+    cell = Cell(
+        protocol="TokenCMP-dst1",
+        workload="counter",
+        seed=3,
+        params=SystemParams(num_chips=2, procs_per_chip=2),
+        crash=CrashSpec(level="l1", at_ps=500_000),
+    )
+    result = run_cell(cell, tracer=tracer)
+    kinds = {ev.kind for ev in tracer.events}
+    assert "fault.crash" in kinds
+    assert "tx.recreate" in kinds or "recreate.epoch" in kinds
+    assert "recreate.done" in kinds
+    # The full trace (recovery kinds included) exports and validates.
+    doc = chrome_trace(tracer.events)
+    validate_chrome_trace(doc)
+    assert result.get("crash.fired") == 1
