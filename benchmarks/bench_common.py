@@ -23,13 +23,11 @@ instead of full-system workloads) — the claims being reproduced are the
 from __future__ import annotations
 
 import os
-import warnings
-from typing import Callable, Dict, Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.analysis.report import ResultTable
 from repro.common.params import SystemParams
 from repro.exp.library import EXPERIMENTS
-from repro.exp.result import CellResult
 from repro.exp.runner import ExperimentResult, Runner
 from repro.exp.spec import Cell, ExperimentSpec
 
@@ -106,56 +104,3 @@ def grid_spec(
         for proto in protocols
         for seed in seeds
     ))
-
-
-def runtime_grid(
-    params: SystemParams,
-    protocols: Sequence[str],
-    workload_factory: Callable[[SystemParams, int], object],
-    seeds: Sequence[int] = (1,),
-    max_events: Optional[int] = GRID_MAX_EVENTS,
-) -> Dict[str, float]:
-    """Deprecated: mean runtime in ps per protocol from a legacy callable.
-
-    Callable factories defeat the cache and the process pool; build a
-    declarative spec (``grid_spec`` / ``repro.exp.ExperimentSpec.grid``)
-    instead.
-    """
-    warnings.warn(
-        "bench_common.runtime_grid is deprecated; use grid_spec + "
-        "engine_runner (declarative workloads cache and parallelize)",
-        DeprecationWarning, stacklevel=2,
-    )
-    spec = ExperimentSpec("legacy-runtime-grid", tuple(
-        Cell(protocol=proto, workload=workload_factory, seed=seed,
-             params=params, max_events=max_events)
-        for proto in protocols
-        for seed in seeds
-    ))
-    result = engine_runner().run(spec)
-    return result.runtime_grid(list(p if isinstance(p, str) else p.name
-                                    for p in protocols))
-
-
-def results_grid(
-    params: SystemParams,
-    protocols: Sequence[str],
-    workload_factory: Callable[[SystemParams, int], object],
-    seed: int = 1,
-    max_events: Optional[int] = GRID_MAX_EVENTS,
-) -> Dict[str, CellResult]:
-    """Deprecated: one CellResult per protocol from a legacy callable."""
-    warnings.warn(
-        "bench_common.results_grid is deprecated; use grid_spec + "
-        "engine_runner (declarative workloads cache and parallelize)",
-        DeprecationWarning, stacklevel=2,
-    )
-    spec = ExperimentSpec("legacy-results-grid", tuple(
-        Cell(protocol=proto, workload=workload_factory, seed=seed,
-             params=params, max_events=max_events)
-        for proto in protocols
-    ))
-    result = engine_runner().run(spec)
-    return result.by_protocol(
-        [p if isinstance(p, str) else p.name for p in protocols]
-    )

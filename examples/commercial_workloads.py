@@ -13,7 +13,7 @@ import argparse
 
 from repro.common.params import SystemParams
 from repro.interconnect.traffic import Scope
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.commercial import make_commercial
 
 PROTOCOLS = [
@@ -40,7 +40,7 @@ def main() -> None:
     results = {}
     for wl_name in WORKLOADS:
         for proto in PROTOCOLS:
-            machine = Machine(params, proto, seed=args.seed)
+            machine = MachineSpec(params=params, protocol=proto, seed=args.seed).build()
             wl = make_commercial(params, wl_name, seed=args.seed,
                                  refs_per_proc=args.refs)
             results[(wl_name, proto)] = machine.run(wl)

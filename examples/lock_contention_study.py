@@ -13,7 +13,7 @@ Usage:  python examples/lock_contention_study.py [--acquires N]
 import argparse
 
 from repro.common.params import SystemParams
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.locking import LockingWorkload
 
 PROTOCOLS = [
@@ -39,7 +39,7 @@ def main() -> None:
     runtimes = {}
     for locks in LOCKS:
         for proto in PROTOCOLS:
-            machine = Machine(params, proto, seed=args.seed)
+            machine = MachineSpec(params=params, protocol=proto, seed=args.seed).build()
             wl = LockingWorkload(params, num_locks=locks,
                                  acquires_per_proc=args.acquires, seed=args.seed)
             runtimes[(locks, proto)] = machine.run(wl).runtime_ps

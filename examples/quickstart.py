@@ -12,7 +12,7 @@ reported TokenCMP ~50% faster on OLTP).
 
 from repro.common.params import SystemParams
 from repro.interconnect.traffic import Scope
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.commercial import make_commercial
 from repro.workloads.sharing import CounterWorkload
 
@@ -23,7 +23,7 @@ def main() -> None:
           f"{params.tokens_per_block} tokens/block\n")
 
     # --- Part 1: coherence is real -----------------------------------
-    machine = Machine(params, "TokenCMP-dst1", seed=1)
+    machine = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=1).build()
     counter = CounterWorkload(params, increments=10, seed=1)
     machine.run(counter)
     final = machine.coherent_value(counter.counter)
@@ -35,7 +35,7 @@ def main() -> None:
     # --- Part 2: the paper's headline comparison ---------------------
     runtimes = {}
     for protocol in ("DirectoryCMP", "TokenCMP-dst1"):
-        machine = Machine(params, protocol, seed=1)
+        machine = MachineSpec(params=params, protocol=protocol, seed=1).build()
         workload = make_commercial(params, "oltp", seed=1, refs_per_proc=200)
         result = machine.run(workload)
         runtimes[protocol] = result.runtime_ps

@@ -16,7 +16,7 @@ import argparse
 from repro.analysis.chart import bar_chart
 from repro.common.params import SystemParams
 from repro.interconnect.traffic import Scope
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.commercial import make_commercial
 
 PROTOCOLS = ["DirectoryCMP", "TokenCMP-dst1", "TokenCMP-dst1-mcast"]
@@ -36,7 +36,7 @@ def main() -> None:
         )
         results = {}
         for proto in PROTOCOLS:
-            machine = Machine(params, proto, seed=args.seed)
+            machine = MachineSpec(params=params, protocol=proto, seed=args.seed).build()
             wl = make_commercial(params, "oltp", seed=args.seed,
                                  refs_per_proc=args.refs)
             results[proto] = machine.run(wl)

@@ -14,13 +14,13 @@ Usage:  python examples/scmp_snooping.py
 
 from repro.common.errors import ConfigError
 from repro.common.params import SystemParams
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.locking import LockingWorkload
 from repro.workloads.sharing import CounterWorkload
 
 
 def run(params, proto, make_workload):
-    machine = Machine(params, proto, seed=1)
+    machine = MachineSpec(params=params, protocol=proto, seed=1).build()
     workload = make_workload(params)
     result = machine.run(workload)
     return result.runtime_ns
@@ -45,7 +45,7 @@ def main() -> None:
     print("\nThe snooping bus is competitive on one chip — and impossible")
     print("beyond it:")
     try:
-        Machine(mcmp, "SnoopingSCMP")
+        MachineSpec(params=mcmp, protocol="SnoopingSCMP").build()
     except ConfigError as err:
         print(f"  SnoopingSCMP on 4 CMPs -> ConfigError: {err}")
 

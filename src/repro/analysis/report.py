@@ -1,80 +1,19 @@
-"""Experiment harness helpers: paper-style tables plus legacy run helpers.
+"""Experiment harness helpers: paper-style result tables.
 
 :class:`ResultTable` renders measured values side by side with the
-paper's reference values.  The ``run_one`` / ``mean_runtime`` helpers are
-**deprecated** shims over :func:`repro.exp.run_cell` — new code should
-describe runs declaratively (:class:`repro.exp.Cell`) and execute them
-through :class:`repro.exp.Runner`, which adds multiprocessing fan-out and
-content-addressed result caching for free.
+paper's reference values.  Runs are described declaratively
+(:class:`repro.exp.Cell`) and executed through :class:`repro.exp.Runner`
+or :func:`repro.exp.run_cell` — the former ``run_one`` / ``mean_runtime``
+shims are gone.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List
 
-from repro.common.params import SystemParams
 from repro.interconnect.traffic import Scope, TrafficClass
-from repro.system.machine import Machine, RunResult
-
-
-def run_one(
-    params: SystemParams,
-    protocol: str,
-    workload_factory: Callable[[SystemParams, int], object],
-    seed: int = 0,
-    max_events: Optional[int] = 80_000_000,
-    faults=None,
-    watchdog_budget_ns: Optional[float] = None,
-    invariant_check_every: Optional[int] = None,
-) -> RunResult:
-    """Deprecated: build and run one cell, returning the raw RunResult.
-
-    Delegates to :func:`repro.exp.run_cell` (the single
-    machine-construction path).  Callable factories cannot be cached or
-    parallelized — prefer ``run_cell`` with a registry workload name.
-    """
-    warnings.warn(
-        "run_one is deprecated; use repro.exp.run_cell with a declarative "
-        "Cell (registry workload name) to get caching and parallelism",
-        DeprecationWarning, stacklevel=2,
-    )
-    from repro.exp.runner import run_cell
-    from repro.exp.spec import Cell
-
-    result = run_cell(Cell(
-        protocol=protocol, workload=workload_factory, seed=seed,
-        params=params, max_events=max_events, faults=faults,
-        watchdog_budget_ns=watchdog_budget_ns,
-        invariant_check_every=invariant_check_every,
-    ))
-    return result.raw
-
-
-def mean_runtime(
-    params: SystemParams,
-    protocol: str,
-    workload_factory: Callable[[SystemParams, int], object],
-    seeds: Sequence[int] = (1,),
-    max_events: Optional[int] = 80_000_000,
-) -> float:
-    """Deprecated: mean runtime (ps) over seeds via legacy callables.
-
-    Use :meth:`repro.exp.ExperimentResult.mean_runtime` instead.
-    """
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        total = 0.0
-        for seed in seeds:
-            total += run_one(
-                params, protocol, workload_factory, seed, max_events
-            ).runtime_ps
-    warnings.warn(
-        "mean_runtime is deprecated; use repro.exp.Runner and "
-        "ExperimentResult.mean_runtime", DeprecationWarning, stacklevel=2,
-    )
-    return total / len(seeds)
+from repro.system.machine import RunResult
 
 
 @dataclasses.dataclass

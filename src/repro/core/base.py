@@ -17,7 +17,7 @@ from repro.common.stats import Stats
 from repro.common.types import NodeId, NodeKind
 from repro.core.persistent import PersistentEntry, PersistentTable, persistent_read_share
 from repro.core.tokens import TokenEntry
-from repro.interconnect.message import Message, MsgType
+from repro.interconnect.message import Message, MessagePool, MsgType
 from repro.interconnect.network import Network
 from repro.memory.cache import CacheArray
 from repro.sim.kernel import Simulator
@@ -55,6 +55,17 @@ class TokenCacheController:
         # carriers are stamped with the sender's epoch; anything older
         # than what we know is stale and discarded, never absorbed.
         self._block_epoch: dict = {}
+        # The shared message pool (one per machine, owned by the network;
+        # fault wrappers forward the attribute).  Ad-hoc test networks
+        # without one get a private disabled pool, which degrades every
+        # acquire to plain construction and release to a no-op.
+        pool = getattr(net, "pool", None)
+        self.pool: MessagePool = pool if pool is not None else MessagePool(enabled=False)
+        # Hot-path bindings, resolved once instead of per message.
+        self._call_after = sim.call_after
+        self._process_cb = self._process
+        self._counters = stats.counters  # defaultdict: bare += per bump
+        self._lookup = array.lookup
         net.register(node, self.handle)
 
     # ------------------------------------------------------------------
@@ -87,7 +98,7 @@ class TokenCacheController:
     # ------------------------------------------------------------------
     def handle(self, msg: Message) -> None:
         """Network entry point: model the tag-lookup latency, then act."""
-        self.sim.schedule(self.lookup_latency_ps, self._process, msg)
+        self._call_after(self.lookup_latency_ps, self._process_cb, msg)
 
     def _process(self, msg: Message) -> None:
         t = msg.mtype
@@ -103,6 +114,15 @@ class TokenCacheController:
             self._on_recreate_epoch(msg)
         else:  # pragma: no cover - defensive
             raise ValueError(f"{self.node}: unexpected message {msg}")
+        # Final delivery: the message's lifecycle ends here.  Dispatchees
+        # must copy out any scalars they need (pool discipline) — the
+        # record goes back on the freelist for the next acquire.  Inlined
+        # MessagePool.release: unflagged messages (pooling off, or plain
+        # construction) make the pop a no-op.
+        if msg.__dict__.pop("_pooled", None):
+            pool = self.pool
+            pool.releases += 1
+            pool._free.append(msg)
 
     # ------------------------------------------------------------------
     # Token arrival (responses, writebacks — all the same to the substrate).
@@ -136,7 +156,7 @@ class TokenCacheController:
         self._token_state_changed(msg.addr)
 
     def _ensure_entry(self, addr: int) -> TokenEntry:
-        entry = self.array.lookup(addr)
+        entry = self._lookup(addr)
         if entry is None:
             entry = TokenEntry()
             victim = self.array.allocate(addr, entry, evictable=self._evictable)
@@ -169,7 +189,7 @@ class TokenCacheController:
     # Substrate reaction to any token-state change.
     # ------------------------------------------------------------------
     def _token_state_changed(self, addr: int) -> None:
-        entry = self.array.lookup(addr, touch=False)
+        entry = self._lookup(addr, False)
         if entry is not None and entry.tokens == 0:
             self.array.deallocate(addr)
             entry = None
@@ -253,12 +273,21 @@ class TokenCacheController:
     # Transient-request response rules (Section 4).
     # ------------------------------------------------------------------
     def _on_transient(self, msg: Message) -> None:
-        self._respond_transient(msg)
-
-    def _respond_transient(self, msg: Message) -> None:
+        # Hoisted early-exit: most receivers of a broadcast transient hold
+        # no tokens for the block, so skip the responder call entirely.
         addr = msg.addr
-        entry = self.array.lookup(addr, touch=False)
-        if entry is None or entry.tokens == 0 or msg.requestor == self.node:
+        requestor = msg.requestor
+        entry = self._lookup(addr, False)
+        if entry is None or entry.tokens == 0 or requestor == self.node:
+            return
+        self._respond_transient(msg.mtype, addr, requestor)
+
+    def _respond_transient(self, mtype: MsgType, addr: int, requestor: NodeId) -> None:
+        # Scalar arguments by design: responding can be parked on a hold
+        # window (``_defer`` below), and a deferred continuation must not
+        # capture the pooled request message past its delivery.
+        entry = self._lookup(addr, False)
+        if entry is None or entry.tokens == 0 or requestor == self.node:
             return  # a cache only responds when it actually has tokens
         if self.table.active_for(addr) is not None:
             # An activated persistent request reserves this block's tokens:
@@ -266,14 +295,15 @@ class TokenCacheController:
             return
         if entry.hold_until > self.sim.now:
             # Response-delay mechanism: finish the critical section first.
-            self._defer(addr, entry.hold_until, self._respond_transient, msg)
+            self._defer(addr, entry.hold_until, self._respond_transient,
+                        mtype, addr, requestor)
             return
 
         T = self.params.tokens_per_block
-        local = msg.requestor.chip == self.chip
-        if msg.mtype is MsgType.TOK_GETX:
+        local = requestor.chip == self.chip
+        if mtype is MsgType.TOK_GETX:
             self._send_tokens(
-                msg.requestor, addr, entry,
+                requestor, addr, entry,
                 give=entry.tokens, give_owner=entry.owner, include_data=entry.owner,
             )
             return
@@ -282,14 +312,14 @@ class TokenCacheController:
         if self.cfg.migratory and entry.owner and entry.dirty and entry.tokens == T:
             # Migratory sharing: hand over everything, reader will write.
             self._send_tokens(
-                msg.requestor, addr, entry,
+                requestor, addr, entry,
                 give=entry.tokens, give_owner=True, include_data=True,
             )
             self.stats.bump("token.migratory_transfers")
         elif local:
             if entry.valid_data and entry.tokens >= 2:
                 self._send_tokens(
-                    msg.requestor, addr, entry, give=1, give_owner=False, include_data=True,
+                    requestor, addr, entry, give=1, give_owner=False, include_data=True,
                 )
         else:
             # A CMP responds to external reads only from the owner, and
@@ -299,12 +329,12 @@ class TokenCacheController:
                 give = min(want, entry.tokens)
                 if give == entry.tokens:
                     self._send_tokens(
-                        msg.requestor, addr, entry,
+                        requestor, addr, entry,
                         give=give, give_owner=True, include_data=True,
                     )
                 else:
                     self._send_tokens(
-                        msg.requestor, addr, entry,
+                        requestor, addr, entry,
                         give=give, give_owner=False, include_data=True,
                     )
 
@@ -339,12 +369,11 @@ class TokenCacheController:
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.recreate_surrender(self.node, addr, epoch, with_data=data is not None)
-        self.net.send(
-            Message(
-                mtype=reply_type, src=self.node, dst=self.params.home_mem(addr),
-                addr=addr, data=data, dirty=dirty, epoch=epoch,
-            )
-        )
+        out = self.pool.acquire(reply_type, self.node, self.params.home_mem(addr), addr)
+        out.data = data
+        out.dirty = dirty
+        out.epoch = epoch
+        self.net.send(out)
 
     # ------------------------------------------------------------------
     # Persistent request table maintenance.
@@ -385,8 +414,8 @@ class TokenCacheController:
             mtype = MsgType.TOK_WB_DATA if data is not None else MsgType.TOK_WB
         else:
             mtype = MsgType.TOK_DATA if data is not None else MsgType.TOK_ACK
-        out = Message(
-            mtype=mtype, src=self.node, dst=dst, addr=addr,
+        out = self.pool.acquire_carrier(
+            mtype, self.node, dst, addr,
             tokens=tokens, owner=owner, data=data, dirty=dirty,
             epoch=self._block_epoch.get(addr, 0),
         )

@@ -64,6 +64,14 @@ class TokenL1Controller(TokenCacheController):
         self.rng = substream(seed, "l1", self.node)
         self.destset = None  # per-chip predictor, wired by the builder
         self._tx: Dict[int, Transaction] = {}
+        # Interned destination sets, keyed by block address: broadcast
+        # fan-out reuses one frozen tuple per (block, scope) instead of
+        # rebuilding the list on every miss.  Workload footprints are
+        # bounded, so the caches are too.
+        self._dests_local: Dict[int, Tuple[NodeId, ...]] = {}
+        self._dests_global: Dict[int, Tuple[NodeId, ...]] = {}
+        self._dests_flat: Dict[int, Tuple[NodeId, ...]] = {}
+        self._pers_dests: Dict[int, Tuple[NodeId, ...]] = {}
 
     def _writeback_destination(self, addr: int) -> NodeId:
         return self.params.l2_bank(addr, self.chip)
@@ -80,18 +88,21 @@ class TokenL1Controller(TokenCacheController):
     def access(self, op, done: Callable[[int], None]) -> None:
         """Perform a memory operation; ``done(result)`` at completion."""
         addr = self.params.block_of(op.addr)
-        self.sim.schedule(self.lookup_latency_ps, self._attempt, op, addr, done)
+        # Recyclable single-arg event (call_after): the op/addr/done pack
+        # rides in one tuple instead of an Event handle with an args tuple.
+        self.sim.call_after(self.lookup_latency_ps, self._attempt, (op, addr, done))
 
-    def _attempt(self, op, addr: int, done: Callable[[int], None]) -> None:
+    def _attempt(self, pack) -> None:
+        op, addr, done = pack
         entry = self.array.lookup(addr)
         write = is_write(op)
         if entry is not None and (
             entry.can_write(self.params.tokens_per_block) if write else entry.can_read()
         ):
-            self.stats.bump("l1.hits")
+            self._counters["l1.hits"] += 1
             done(self._perform(op, addr))
             return
-        self.stats.bump("l1.misses")
+        self._counters["l1.misses"] += 1
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.tx_issue(self.node, addr, write)
@@ -140,12 +151,20 @@ class TokenL1Controller(TokenCacheController):
         self._send_transient(tx, global_=False)
         tx.timer = self.sim.schedule(self.estimator.threshold_ps(), self._on_timeout, tx)
 
-    def _transient_destinations(self, addr: int, global_: bool):
+    def _transient_destinations(self, addr: int, global_: bool) -> Tuple[NodeId, ...]:
         if self.cfg.flat_policy:
             # TokenB: flat broadcast to every cache in the machine.
+            cached = self._dests_flat.get(addr)
+            if cached is not None:
+                return cached
             dests = [n for n in self.params.token_holders(addr) if n != self.node]
             dests.append(self.params.home_mem(addr))
-            return dests
+            self._dests_flat[addr] = cached = tuple(dests)
+            return cached
+        cache = self._dests_global if global_ else self._dests_local
+        cached = cache.get(addr)
+        if cached is not None:
+            return cached
         dests = [n for n in self.params.chip_l1s(self.chip) if n != self.node]
         dests.append(self.params.l2_bank(addr, self.chip))
         if global_:
@@ -153,7 +172,8 @@ class TokenL1Controller(TokenCacheController):
                 if chip != self.chip:
                     dests.append(self.params.l2_bank(addr, chip))
             dests.append(self.params.home_mem(addr))
-        return dests
+        cache[addr] = cached = tuple(dests)
+        return cached
 
     def _send_transient(self, tx: Transaction, global_: bool) -> None:
         mtype = MsgType.TOK_GETX if tx.is_write else MsgType.TOK_GETS
@@ -162,13 +182,11 @@ class TokenL1Controller(TokenCacheController):
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.tx_transient(self.node, tx.addr, global_, len(dests))
-        template = Message(
-            mtype=mtype, src=self.node, dst=self.node, addr=tx.addr,
-            requestor=self.node,
-        )
-        send = self.net.send
-        for dst in dests:
-            send(template.clone_to(dst))
+        pool = self.pool
+        template = pool.acquire(mtype, self.node, self.node, tx.addr)
+        template.requestor = self.node
+        self.net.send_fanout(template, dests)
+        pool.release(template)
 
     def _on_timeout(self, tx: Transaction) -> None:
         if self._tx.get(tx.addr) is not tx:
@@ -244,16 +262,12 @@ class TokenL1Controller(TokenCacheController):
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.tx_recreate(self.node, tx.addr, tx.recreate_attempts)
-        self.net.send(
-            Message(
-                mtype=MsgType.TOK_RECREATE_REQ,
-                src=self.node,
-                dst=self.params.home_mem(tx.addr),
-                addr=tx.addr,
-                requestor=self.node,
-                read=not tx.is_write,
-            )
+        out = self.pool.acquire(
+            MsgType.TOK_RECREATE_REQ, self.node, self.params.home_mem(tx.addr), tx.addr
         )
+        out.requestor = self.node
+        out.read = not tx.is_write
+        self.net.send(out)
         tx.recreate_attempts += 1
         # Jittered exponential backoff, like the transient retry path: the
         # request (or the grant it produces) may itself be lost, so keep
@@ -278,25 +292,24 @@ class TokenL1Controller(TokenCacheController):
                 proc=self.proc, requestor=self.node, addr=tx.addr, read=read, prio=self.prio
             )
         )
-        template = Message(
-            mtype=MsgType.PERSIST_ACTIVATE,
-            src=self.node,
-            dst=self.node,
-            addr=tx.addr,
-            requestor=self.node,
-            prio=self.prio,
-            read=read,
-            extra=self.proc,
-        )
-        send = self.net.send
-        for dst in self._persistent_broadcast_set(tx.addr):
-            send(template.clone_to(dst))
+        pool = self.pool
+        template = pool.acquire(MsgType.PERSIST_ACTIVATE, self.node, self.node, tx.addr)
+        template.requestor = self.node
+        template.prio = self.prio
+        template.read = read
+        template.extra = self.proc
+        self.net.send_fanout(template, self._persistent_broadcast_set(tx.addr))
+        pool.release(template)
         self._token_state_changed(tx.addr)
 
-    def _persistent_broadcast_set(self, addr: int):
+    def _persistent_broadcast_set(self, addr: int) -> Tuple[NodeId, ...]:
+        cached = self._pers_dests.get(addr)
+        if cached is not None:
+            return cached
         dests = [n for n in self.params.token_holders(addr) if n != self.node]
         dests.append(self.params.home_mem(addr))
-        return dests
+        self._pers_dests[addr] = cached = tuple(dests)
+        return cached
 
     def _deactivate(self, tx: Transaction) -> None:
         if self.cfg.activation == "arb":
@@ -321,17 +334,12 @@ class TokenL1Controller(TokenCacheController):
             )
         self.table.remove(self.proc, tx.addr)
         self.table.mark_all_for(tx.addr)
-        template = Message(
-            mtype=MsgType.PERSIST_DEACTIVATE,
-            src=self.node,
-            dst=self.node,
-            addr=tx.addr,
-            requestor=self.node,
-            extra=self.proc,
-        )
-        send = self.net.send
-        for dst in self._persistent_broadcast_set(tx.addr):
-            send(template.clone_to(dst))
+        pool = self.pool
+        template = pool.acquire(MsgType.PERSIST_DEACTIVATE, self.node, self.node, tx.addr)
+        template.requestor = self.node
+        template.extra = self.proc
+        self.net.send_fanout(template, self._persistent_broadcast_set(tx.addr))
+        pool.release(template)
 
     def _on_deactivate(self, msg: Message) -> None:
         super()._on_deactivate(msg)

@@ -14,7 +14,7 @@ two performance-policy roles (Section 4):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.common.types import NodeId, NodeKind
 from repro.core.base import TokenCacheController
@@ -34,6 +34,10 @@ class TokenL2Controller(TokenCacheController):
         # when the variant uses multicast): the chip's L1s train it with
         # the responses they receive; the gateway consults it.
         self.destset = None
+        # Interned fan-out sets: the chip's L1 population is fixed, and
+        # the all-chips escalation set varies only with the block's home.
+        self._local_l1s: Tuple[NodeId, ...] = tuple(self.params.chip_l1s(self.chip))
+        self._esc_dests: Dict[int, Tuple[NodeId, ...]] = {}
 
     def _writeback_destination(self, addr: int) -> NodeId:
         return self.params.home_mem(addr)
@@ -43,7 +47,7 @@ class TokenL2Controller(TokenCacheController):
         if self.cfg.flat_policy:
             # TokenB addresses every cache directly: the L2 bank is just
             # another token holder — no gateway or ingress duties.
-            self._respond_transient(msg)
+            self._respond_transient(msg.mtype, msg.addr, msg.requestor)
             return
         local = msg.requestor.chip == self.chip
         if local:
@@ -53,12 +57,12 @@ class TokenL2Controller(TokenCacheController):
                 self._escalate(msg)
             if self.filter is not None and msg.requestor.kind in (NodeKind.L1D, NodeKind.L1I):
                 self.filter.note_holder(msg.addr, msg.requestor)
-            self._respond_transient(msg)
+            self._respond_transient(msg.mtype, msg.addr, msg.requestor)
         else:
             if self.destset is not None:
                 # The remote requestor is about to hold this block.
                 self.destset.train(msg.addr, msg.requestor.chip)
-            self._respond_transient(msg)
+            self._respond_transient(msg.mtype, msg.addr, msg.requestor)
             self._rebroadcast(msg)
 
     def _is_l2_miss(self, msg: Message) -> bool:
@@ -73,29 +77,39 @@ class TokenL2Controller(TokenCacheController):
         """Send an L2-level miss to the other CMPs (all of them, or the
         predicted destination set) plus home memory."""
         self.stats.bump("l2.escalations")
-        chips = [c for c in self.params.all_chips() if c != self.chip]
+        addr = msg.addr
+        dests = None
         multicast = False
         if self.destset is not None:
-            predicted = self.destset.predict(msg.addr, self.params.all_chips(), self.chip)
+            predicted = self.destset.predict(addr, self.params.all_chips(), self.chip)
             if predicted is not None:
-                chips = predicted
                 multicast = True
                 self.stats.bump("l2.multicasts")
+                dests = [self.params.l2_bank(addr, chip) for chip in predicted]
+                dests.append(self.params.home_mem(addr))
+        if dests is None:
+            dests = self._esc_dests.get(addr)
+            if dests is None:
+                dests = [
+                    self.params.l2_bank(addr, chip)
+                    for chip in self.params.all_chips()
+                    if chip != self.chip
+                ]
+                dests.append(self.params.home_mem(addr))
+                self._esc_dests[addr] = dests = tuple(dests)
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.tx_escalate(
-                msg.requestor, msg.addr,
-                via=self.node, ndests=len(chips) + 1, multicast=multicast,
+                msg.requestor, addr,
+                via=self.node, ndests=len(dests), multicast=multicast,
             )
         template = self._forward_template(msg)
-        send = self.net.send
-        for chip in chips:
-            send(template.clone_to(self.params.l2_bank(msg.addr, chip)))
-        send(template.clone_to(self.params.home_mem(msg.addr)))
+        self.net.send_fanout(template, dests)
+        self.pool.release(template)
 
     def _rebroadcast(self, msg: Message) -> None:
         """Deliver an external transient request to (filtered) local L1s."""
-        l1s = self.params.chip_l1s(self.chip)
+        l1s = self._local_l1s
         if self.filter is not None:
             dests = self.filter.destinations(msg.addr, l1s)
             self.stats.bump("l2.filter_suppressed", len(l1s) - len(dests))
@@ -104,16 +118,15 @@ class TokenL2Controller(TokenCacheController):
         if not dests:
             return
         template = self._forward_template(msg)
-        send = self.net.send
-        for dst in dests:
-            send(template.clone_to(dst))
+        self.net.send_fanout(template, dests)
+        self.pool.release(template)
 
     def _forward_template(self, msg: Message) -> Message:
-        """Template for fanning ``msg`` out; clone per destination."""
-        return Message(
-            mtype=msg.mtype, src=self.node, dst=self.node, addr=msg.addr,
-            requestor=msg.requestor,
-        )
+        """Pooled template for fanning ``msg`` out; the caller clones it
+        per destination (``send_fanout``) and releases it afterwards."""
+        template = self.pool.acquire(msg.mtype, self.node, self.node, msg.addr)
+        template.requestor = msg.requestor
+        return template
 
     # ------------------------------------------------------------------
     def _hook_absorbed(self, msg: Message) -> None:

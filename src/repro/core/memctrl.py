@@ -16,7 +16,7 @@ from repro.common.params import SystemParams
 from repro.common.stats import Stats
 from repro.common.types import NodeId
 from repro.core.persistent import PersistentEntry, PersistentTable, persistent_read_share
-from repro.interconnect.message import Message, MsgType
+from repro.interconnect.message import Message, MessagePool, MsgType
 from repro.interconnect.network import Network
 from repro.memory.dram import MemoryImage
 from repro.sim.kernel import Simulator
@@ -63,6 +63,11 @@ class TokenMemController:
         self._epoch: Dict[int, int] = {}
         self._recreating: Dict[int, _Recreation] = {}
         self.ledger = None
+        pool = getattr(net, "pool", None)
+        self.pool: MessagePool = pool if pool is not None else MessagePool(enabled=False)
+        # Hot-path bindings, resolved once instead of per message.
+        self._call_after = sim.call_after
+        self._process_cb = self._process
         net.register(node, self.handle)
 
     # ------------------------------------------------------------------
@@ -96,7 +101,7 @@ class TokenMemController:
 
     # ------------------------------------------------------------------
     def handle(self, msg: Message) -> None:
-        self.sim.schedule(self.params.mem_ctrl_latency_ps, self._process, msg)
+        self._call_after(self.params.mem_ctrl_latency_ps, self._process_cb, msg)
 
     def _process(self, msg: Message) -> None:
         t = msg.mtype
@@ -121,6 +126,13 @@ class TokenMemController:
             self._on_recreate_ack(msg)
         else:  # pragma: no cover - defensive
             raise ValueError(f"{self.node}: unexpected message {msg}")
+        # Final delivery: recycle the pooled record (pool discipline — the
+        # handlers above copy out every scalar they keep).  Inlined
+        # MessagePool.release: unflagged messages make the pop a no-op.
+        if msg.__dict__.pop("_pooled", None):
+            pool = self.pool
+            pool.releases += 1
+            pool._free.append(msg)
 
     # ------------------------------------------------------------------
     # Token recreation: the ruler of tokens (Sections 3 & 7).
@@ -159,15 +171,17 @@ class TokenMemController:
 
     def _broadcast_epoch(self, addr: int, rec: _Recreation,
                          only_unacked: bool = False) -> None:
-        template = Message(
-            mtype=MsgType.TOK_RECREATE_EPOCH, src=self.node, dst=self.node,
-            addr=addr, epoch=rec.epoch,
+        pool = self.pool
+        template = pool.acquire(MsgType.TOK_RECREATE_EPOCH, self.node, self.node, addr)
+        template.epoch = rec.epoch
+        self.net.send_fanout(
+            template,
+            (
+                dst for dst in self.params.token_holders(addr)
+                if not (only_unacked and dst in rec.acked)
+            ),
         )
-        send = self.net.send
-        for dst in self.params.token_holders(addr):
-            if only_unacked and dst in rec.acked:
-                continue
-            send(template.clone_to(dst))
+        pool.release(template)
 
     def _on_recreate_ack(self, msg: Message) -> None:
         addr = msg.addr
@@ -313,14 +327,9 @@ class TokenMemController:
             self.stats.bump("mem.dram_reads")
         data = self.image.read(addr) if send_data else None
         self._set(addr, tokens - give, owner and not give_owner)
-        msg = Message(
-            mtype=MsgType.TOK_DATA if send_data else MsgType.TOK_ACK,
-            src=self.node,
-            dst=dst,
-            addr=addr,
-            tokens=give,
-            owner=give_owner,
-            data=data,
+        msg = self.pool.acquire_carrier(
+            MsgType.TOK_DATA if send_data else MsgType.TOK_ACK, self.node, dst, addr,
+            tokens=give, owner=give_owner, data=data, dirty=False,
             epoch=self.epoch_of(addr),
         )
         tracer = self.sim.tracer

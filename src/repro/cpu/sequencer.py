@@ -33,6 +33,13 @@ class Sequencer:
         # processor is one whose ``last_complete_ps`` stops advancing.
         self.ops_completed = 0
         self.last_complete_ps = 0
+        # The core is blocking (one outstanding op), so the completion
+        # callback is one stable bound method with the per-op state held
+        # on the sequencer — no closure per issued operation.
+        self._start = 0
+        self._done: Callable[[int], None] = lambda value: None
+        self._complete = self._op_complete
+        self._latency = stats.summaries["seq.latency_ps"]
 
     def issue(self, op, done: Callable[[int], None]) -> None:
         """Start ``op``; ``done(result)`` fires at completion time."""
@@ -40,18 +47,19 @@ class Sequencer:
 
         assert not self._busy, f"proc {self.proc}: second op while one outstanding"
         self._busy = True
-        start = self.sim.now
-        self.stats.bump("seq.ops")
-
-        def _complete(value: int) -> None:
-            self._busy = False
-            self.ops_completed += 1
-            self.last_complete_ps = self.sim.now
-            self.stats.sample("seq.latency_ps", self.sim.now - start)
-            done(value)
-
+        self._start = self.sim.now
+        self._done = done
+        self.stats.counters["seq.ops"] += 1
         target = self.l1i if isinstance(op, Fetch) else self.l1d
-        target.access(op, _complete)
+        target.access(op, self._complete)
+
+    def _op_complete(self, value: int) -> None:
+        self._busy = False
+        self.ops_completed += 1
+        now = self.sim.now
+        self.last_complete_ps = now
+        self._latency.add(now - self._start)
+        self._done(value)
 
     def issue_batch(self, ops, done: Callable[[list], None]) -> None:
         """Issue independent ops concurrently; ``done(results)`` when all

@@ -39,23 +39,33 @@ class ProcThread:
         self.on_finish = on_finish
         self.finished = False
         self.finish_time: Optional[int] = None
+        # Hot-path bindings: one bound method for the whole run (instead
+        # of a fresh bound-method object per resumption) and a memo of
+        # think durations in ps (workloads intern their Think objects, so
+        # this dict stays tiny).
+        self._advance_cb = self._advance
+        self._send = gen.send
+        self._think_ps: dict = {}
 
     def start(self) -> None:
-        self.sim.schedule(0, self._advance, None)
+        self.sim.call_after(0, self._advance_cb, None)
 
     def _advance(self, send_value) -> None:
         try:
-            item = self.gen.send(send_value)
+            item = self._send(send_value)
         except StopIteration:
             self.finished = True
             self.finish_time = self.sim.now
             self.on_finish(self)
             return
         if isinstance(item, Think):
-            self.sim.schedule(ns(item.duration_ns), self._advance, None)
+            delay = self._think_ps.get(item.duration_ns)
+            if delay is None:
+                delay = self._think_ps[item.duration_ns] = ns(item.duration_ns)
+            self.sim.call_after(delay, self._advance_cb, None)
         elif isinstance(item, (Load, Store, Rmw, Fetch)):
-            self.sequencer.issue(item, self._advance)
+            self.sequencer.issue(item, self._advance_cb)
         elif isinstance(item, Batch):
-            self.sequencer.issue_batch(item.ops, self._advance)
+            self.sequencer.issue_batch(item.ops, self._advance_cb)
         else:
             raise TypeError(f"workload yielded unsupported item {item!r}")

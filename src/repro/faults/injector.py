@@ -270,6 +270,10 @@ class FaultyNetwork:
                             self.ledger.destroy(
                                 msg.addr, msg.tokens, msg.owner, dirty=msg.dirty
                             )
+                # A dropped message never reaches a controller, so its
+                # pooled record is recycled here (no-op for the unpooled
+                # duplicate copies this wrapper itself constructs).
+                self._inner.pool.release(msg)
                 return
 
         # ---- extra latency: long delay and/or reorder jitter ---------

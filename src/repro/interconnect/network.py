@@ -47,14 +47,15 @@ precomputed at construction time:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Dict, List, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.params import SystemParams
 from repro.common.types import NodeId, NodeKind
-from repro.interconnect.message import Message, MsgType
+from repro.interconnect.message import Message, MessagePool, MsgType, _msg_ids
 from repro.interconnect.topology import LinkSpec, TopologyGraph
-from repro.interconnect.traffic import Scope, TrafficMeter
+from repro.interconnect.traffic import Scope, TrafficClass, TrafficMeter
 from repro.sim.kernel import Simulator
 
 
@@ -63,7 +64,7 @@ class Link:
 
     __slots__ = (
         "name", "scope", "latency_ps", "bytes_per_ns", "busy_until",
-        "bytes_carried", "_ser_num", "_ser_den",
+        "bytes_carried", "_ser_num", "_ser_den", "plain",
     )
 
     def __init__(self, name: str, scope: Scope, latency_ps: int, bytes_per_ns: float):
@@ -73,6 +74,10 @@ class Link:
         self.bytes_per_ns = bytes_per_ns
         self.busy_until = 0
         self.bytes_carried = 0
+        # True for exactly this class: ``Network.send`` inlines the plain
+        # traverse arithmetic and dispatches to :meth:`traverse` only for
+        # subclasses that override it (BufferedLink diagnostics).
+        self.plain = type(self) is Link
         # Serialization is ``nbytes / bytes_per_ns`` ns = ``nbytes * 1000
         # / bytes_per_ns`` ps.  Expand the (possibly fractional) bandwidth
         # into an exact integer ratio once, so ``traverse`` computes an
@@ -149,6 +154,9 @@ class Network:
         self.params = params
         self.meter = meter
         self._endpoints: Dict[NodeId, Handler] = {}
+        # Prebound dict.get of the endpoint table (mutated in place by
+        # ``register``, so the bound method stays valid).
+        self._endpoint_of = self._endpoints.get
         self.topology = params.topology
         self.graph: TopologyGraph = self.topology.build(params)
         self._links: Dict[str, Link] = {}
@@ -166,6 +174,11 @@ class Network:
         # machine; lazily extended for pairs outside the enumeration
         # (tests register ad-hoc endpoints).
         self._routes: Dict[Tuple[NodeId, NodeId], Tuple[Link, ...]] = {}
+        # The same table nested src -> dst -> route, so the hot ``send``
+        # path needs no per-message (src, dst) key tuple.  Empty routes
+        # (src == dst) are valid entries, hence the ``is None`` probes.
+        self._routes_from: Dict[NodeId, Dict[NodeId, Tuple[Link, ...]]] = {}
+        self._route_row = self._routes_from.get  # prebound, table mutated in place
         self._build_routes()
         # MsgType -> wire size in bytes (Section 8 sizes from params).
         # ``send`` itself branches on the two ints below (an attribute
@@ -177,6 +190,26 @@ class Network:
             mtype: (self._data_bytes if mtype.has_data else self._ctrl_bytes)
             for mtype in MsgType
         }
+        # Interned (scope, class) metering keys plus direct views of the
+        # meter's counter dicts: the per-link charge in ``send`` becomes
+        # two dict bumps with no tuple construction per message.
+        self._meter_keys: Dict[TrafficClass, Dict[Scope, Tuple[Scope, TrafficClass]]] = {
+            klass: {scope: (scope, klass) for scope in Scope}
+            for klass in TrafficClass
+        }
+        self._meter_bytes = meter.bytes
+        self._meter_msgs = meter.messages
+        # Freelist of recyclable Message records; controllers acquire at
+        # send and release at final delivery (see MessagePool).
+        self.pool = MessagePool()
+        # Fan-out plans, keyed by destination-tuple identity: broadcasts
+        # use interned destination tuples, so the (endpoint, route) pairs
+        # and the per-scope link counts of a fan-out are resolved once
+        # per (src, dests) instead of per message.  Each entry keeps a
+        # strong reference to its dests tuple, so the id key cannot be
+        # reused while the entry lives; the identity re-check catches a
+        # same-src fan-out to a different (non-interned) tuple.
+        self._fanout_plans: Dict[NodeId, Dict[int, tuple]] = {}
 
     def _build_links(self) -> None:
         """Instantiate one :class:`Link` per compiled :class:`LinkSpec`."""
@@ -229,8 +262,15 @@ class Network:
         """
         links = self._links
         routes = self._routes
+        routes_from = self._routes_from
         for pair, names in self.graph.all_routes().items():
-            routes[pair] = tuple(links[name] for name in names)
+            route = tuple(links[name] for name in names)
+            routes[pair] = route
+            src, dst = pair
+            by_dst = routes_from.get(src)
+            if by_dst is None:
+                by_dst = routes_from[src] = {}
+            by_dst[dst] = route
 
     # ------------------------------------------------------------------
     def register(self, node: NodeId, handler: Handler) -> None:
@@ -241,30 +281,199 @@ class Network:
 
     def send(self, msg: Message) -> None:
         """Route ``msg`` from ``msg.src`` to ``msg.dst`` and deliver it."""
-        endpoint = self._endpoints.get(msg.dst)
+        dst = msg.dst
+        endpoint = self._endpoint_of(dst)
         if endpoint is None:
-            raise ConfigError(f"no endpoint registered for {msg.dst}")
+            raise ConfigError(f"no endpoint registered for {dst}")
         mtype = msg.mtype
         nbytes = self._data_bytes if mtype.has_data else self._ctrl_bytes
-        route = self._routes.get((msg.src, msg.dst))
+        src = msg.src
+        by_dst = self._route_row(src)
+        route = None if by_dst is None else by_dst.get(dst)
         if route is None:  # ad-hoc endpoint outside the machine enumeration
-            route = self._route_fallback(msg.src, msg.dst)
-            self._routes[(msg.src, msg.dst)] = route
+            route = self._route_fallback(src, dst)
+            self._routes[(src, dst)] = route
+            self._routes_from.setdefault(src, {})[dst] = route
         sim = self.sim
         arrival = sim._now
-        klass = mtype.klass
-        record = self.meter.record
+        keys = self._meter_keys[mtype.klass]
+        mbytes = self._meter_bytes
+        mmsgs = self._meter_msgs
         for link in route:
-            arrival = link.traverse(arrival, nbytes)
-            record(link.scope, klass, nbytes)
+            if link.plain:
+                # Inlined Link.traverse (identical integer arithmetic):
+                # the plain link is the whole fabric in steady state, and
+                # skipping the method call pays on every hop.
+                ser = -(-nbytes * link._ser_num // link._ser_den)
+                if ser < 1:
+                    ser = 1
+                begin = link.busy_until
+                if arrival > begin:
+                    begin = arrival
+                link.busy_until = begin + ser
+                link.bytes_carried += nbytes
+                arrival = begin + ser + link.latency_ps
+            else:
+                arrival = link.traverse(arrival, nbytes)
+            scope = link.scope
+            mbytes[keys[scope]] += nbytes
+            mmsgs[scope] += 1
         tracer = sim.tracer
         if tracer is None:
-            sim.schedule(arrival - sim._now, endpoint, msg)
+            sim.call_at(arrival, endpoint, msg)
         else:
             # Same event count and (time, seq) order as the untraced path:
             # the delivery shim only adds the msg.recv emission.
             tracer.msg_send(msg, nbytes=nbytes, hops=len(route), arrival_ps=arrival)
-            sim.schedule(arrival - sim._now, self._deliver_traced, msg)
+            sim.call_at(arrival, self._deliver_traced, msg)
+
+    def send_fanout(self, template: Message, dests) -> None:
+        """Clone ``template`` to every destination, sending each clone.
+
+        The pooled fast path of the template/``clone_to`` broadcast idiom:
+        clones come from the message pool (one dict stamp per destination,
+        no allocation in steady state) and each is released by its
+        receiving controller when its dispatch completes.  The template
+        itself stays with the caller, which releases it after the fan-out.
+
+        Fault-injection wrappers deliberately do not override this: the
+        messages that fan out (transient requests, persistent activates/
+        deactivates, epoch bumps) never carry tokens, so in-flight token
+        tracking has nothing to track, and fault policies apply at arrival
+        through the wrapped endpoint handlers either way.
+        """
+        pool = self.pool
+        send = self.send
+        if not pool.enabled:
+            for dst in dests:
+                send(template.clone_to(dst))
+            return
+        clone = pool.clone
+        sim = self.sim
+        if sim.tracer is not None:
+            for dst in dests:
+                send(clone(template, dst))
+            return
+        # Untraced pooled fast path: every clone shares the template's
+        # src/mtype, so the route row, wire size and metering keys are
+        # resolved once for the whole fan-out instead of per destination,
+        # and the (endpoint, route) pairs plus per-scope link counts come
+        # from a plan cached by destination-tuple identity (broadcast
+        # dest tuples are interned per controller).  Clone order, link
+        # busy_until order and event (time, seq) order are identical to
+        # the per-destination ``send`` loop; metering is applied as one
+        # aggregate bump per scope — same final counters, addition is
+        # commutative and the meter is only read between events.
+        src = template.src
+        row = self._fanout_plans.get(src)
+        if row is None:
+            row = self._fanout_plans[src] = {}
+        entry = row.get(id(dests))
+        if entry is None or entry[0] is not dests:
+            entry = self._build_fanout_plan(src, dests)
+            if entry is None:  # ad-hoc endpoint / route fallback
+                for dst in dests:
+                    send(clone(template, dst))
+                return
+            if len(row) >= 64:
+                # Callers are expected to intern their destination tuples;
+                # a caller that does not would otherwise grow the cache
+                # (and pin its tuples) without bound.
+                row.clear()
+            row[id(dests)] = entry
+        _dests, pairs, scope_links = entry
+        mtype = template.mtype
+        nbytes = self._data_bytes if mtype.has_data else self._ctrl_bytes
+        keys = self._meter_keys[mtype.klass]
+        mbytes = self._meter_bytes
+        mmsgs = self._meter_msgs
+        for scope, nlinks in scope_links:
+            mbytes[keys[scope]] += nbytes * nlinks
+            mmsgs[scope] += nlinks
+        now = sim._now
+        free = pool._free
+        tdict = template.__dict__
+        # Kernel internals hoisted for the inlined no-handle scheduling
+        # below (the exact ``call_at`` body; arrivals can never precede
+        # ``now`` — serialization is >= 1 ps — so the past-check is
+        # statically satisfied).
+        queue = sim._queue
+        efree = sim._free_events
+        pending = 0
+        for dst, endpoint, route in pairs:
+            # Inlined pool.clone (same counter and uid-draw order).
+            pool.acquires += 1
+            if free:
+                msg = free.pop()
+                d = msg.__dict__
+                d.update(tdict)
+                d["dst"] = dst
+                d["uid"] = next(_msg_ids)
+                d["_pooled"] = True
+            else:
+                pool.news += 1
+                msg = template.clone_to(dst)
+                msg.__dict__["_pooled"] = True
+            arrival = now
+            for link in route:
+                if link.plain:
+                    ser = -(-nbytes * link._ser_num // link._ser_den)
+                    if ser < 1:
+                        ser = 1
+                    begin = link.busy_until
+                    if arrival > begin:
+                        begin = arrival
+                    link.busy_until = begin + ser
+                    link.bytes_carried += nbytes
+                    arrival = begin + ser + link.latency_ps
+                else:
+                    arrival = link.traverse(arrival, nbytes)
+            # Inlined Simulator.call_at (identical time/seq semantics).
+            sim._seq = seq = sim._seq + 1
+            if efree:
+                event = efree.pop()
+                event[0] = arrival
+                event[1] = seq
+                event[2] = endpoint
+                event[3] = msg
+            else:
+                sim.event_news += 1
+                event = [arrival, seq, endpoint, msg, True]
+            pending += 1
+            heappush(queue, event)
+        sim._pending += pending
+
+    def _build_fanout_plan(self, src: NodeId, dests):
+        """Resolve a broadcast's per-destination (endpoint, route) pairs.
+
+        Returns ``(dests, pairs, scope_links)`` — the dests tuple itself
+        (kept so the identity-keyed cache holds its key alive), one
+        ``(dst, endpoint, route)`` triple per destination, and the total
+        link count per scope for aggregate metering.  ``None`` when any
+        destination lacks a prebuilt route or a registered endpoint (the
+        caller falls back to per-destination ``send``).
+        """
+        by_dst = self._route_row(src)
+        if by_dst is None:
+            return None
+        endpoint_of = self._endpoint_of
+        pairs = []
+        counts: Dict[Scope, int] = {}
+        for dst in dests:
+            route = by_dst.get(dst)
+            endpoint = endpoint_of(dst)
+            if route is None or endpoint is None:
+                return None
+            pairs.append((dst, endpoint, route))
+            for link in route:
+                scope = link.scope
+                counts[scope] = counts.get(scope, 0) + 1
+        return (dests, tuple(pairs), tuple(counts.items()))
+
+    def release(self, msg: Message) -> None:
+        """Return a delivered pooled message to the pool (no-op for
+        messages the pool does not own, including with pooling off)."""
+        self.pool.release(msg)
 
     def _deliver_traced(self, msg: Message) -> None:
         """Delivery shim used while tracing: emit ``msg.recv``, then act.

@@ -27,19 +27,23 @@ class CacheArray:
         self.num_sets = size_bytes // (assoc * block_size)
         if self.num_sets & (self.num_sets - 1):
             raise ConfigError(f"{name}: number of sets must be a power of two")
+        self._set_mask = self.num_sets - 1
         self._sets: Dict[int, OrderedDict] = {}
 
     def _set_of(self, addr: int) -> int:
-        return (addr // self.block_size) & (self.num_sets - 1)
+        return (addr // self.block_size) & self._set_mask
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[E]:
         """Return the entry for ``addr`` or None; optionally update LRU."""
-        bucket = self._sets.get(self._set_of(addr))
-        if bucket is None or addr not in bucket:
+        # Inlined _set_of plus a single-probe bucket.get: this sits under
+        # every processor access and every protocol dispatch.
+        bucket = self._sets.get((addr // self.block_size) & self._set_mask)
+        if bucket is None:
             return None
-        if touch:
+        entry = bucket.get(addr)
+        if entry is not None and touch:
             bucket.move_to_end(addr)
-        return bucket[addr]
+        return entry
 
     def allocate(
         self,

@@ -19,6 +19,15 @@ cost is kept to a handful of C-level operations:
   and fixes the live-event count; the dead entry stays in the heap and
   is discarded when it surfaces.  The common no-cancel path never pays
   for cancellation support beyond one ``is None`` check per event.
+* **No-handle events are recycled.**  Most events in a simulation —
+  message deliveries, lookup-latency hops, thread resumptions — are
+  never cancelled, so their handles are never kept.  :meth:`Simulator.
+  call_after` / :meth:`Simulator.call_at` schedule a single-argument
+  callback as a plain ``[time, seq, fn, arg, True]`` list drawn from a
+  per-simulator freelist and returned to it right after firing: the
+  steady state allocates no new heap entries and no ``args`` tuples.
+  The run loop tells the two shapes apart with one ``type(event) is
+  list`` check (handle events are :class:`Event` instances).
 * **Watchers are threshold-driven.**  Instead of a per-event
   ``events_fired % every`` scan over every registered watcher, the
   kernel keeps the next due cumulative event count per watcher and a
@@ -110,6 +119,7 @@ class Simulator:
     __slots__ = (
         "_queue", "_now", "_seq", "_pending", "events_fired",
         "_watchers", "_watch_next", "tracer", "profiler",
+        "_free_events", "event_news",
     )
 
     def __init__(self) -> None:
@@ -122,6 +132,11 @@ class Simulator:
         self._watch_next = _NEVER  # min next_due over watchers
         self.tracer = None  # repro.obs.trace.Tracer (attach() sets this)
         self.profiler = None  # repro.obs.profile.KernelProfiler
+        # Freelist of recycled no-handle event records (call_after /
+        # call_at).  ``event_news`` counts fresh record allocations — the
+        # alloc benchmarks read it; in steady state it stops growing.
+        self._free_events: list = []
+        self.event_news: int = 0
 
     def add_watcher(self, fn: Callable[[], None], every_events: int = 1024) -> None:
         """Call ``fn()`` every ``every_events`` fired events.
@@ -176,6 +191,59 @@ class Simulator:
     def schedule_at(self, time_ps: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute time ``time_ps`` (>= now)."""
         return self.schedule(time_ps - self._now, fn, *args)
+
+    def call_after(self, delay_ps: int, fn: Callable[[Any], Any], arg: Any) -> None:
+        """Run ``fn(arg)`` after ``delay_ps``; no handle, entry recycled.
+
+        The no-allocation fast path for the overwhelmingly common case —
+        message deliveries, lookup-latency hops, thread resumptions —
+        where the caller never cancels.  The heap entry is a plain
+        ``[time, seq, fn, arg, True]`` list drawn from the simulator's
+        freelist and returned to it right after firing, and ``arg`` is
+        stored directly (no ``args`` tuple).  Time/sequence semantics are
+        identical to :meth:`schedule`, so swapping a ``schedule`` call
+        site to ``call_after`` never changes simulated behaviour.
+        """
+        if delay_ps < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay_ps})")
+        self._seq = seq = self._seq + 1
+        free = self._free_events
+        if free:
+            event = free.pop()
+            event[0] = self._now + delay_ps
+            event[1] = seq
+            event[2] = fn
+            event[3] = arg
+        else:
+            self.event_news += 1
+            event = [self._now + delay_ps, seq, fn, arg, True]
+        self._pending += 1
+        heappush(self._queue, event)
+
+    def call_at(self, time_ps: int, fn: Callable[[Any], Any], arg: Any) -> None:
+        """Run ``fn(arg)`` at absolute ``time_ps`` (>= now); no handle.
+
+        Open-coded rather than delegating to :meth:`call_after`: callers
+        that already computed an absolute time (message deliveries) skip
+        the round-trip through a relative delay.
+        """
+        if time_ps < self._now:
+            raise ValueError(
+                f"cannot schedule in the past (t={time_ps} < now={self._now})"
+            )
+        self._seq = seq = self._seq + 1
+        free = self._free_events
+        if free:
+            event = free.pop()
+            event[0] = time_ps
+            event[1] = seq
+            event[2] = fn
+            event[3] = arg
+        else:
+            self.event_news += 1
+            event = [time_ps, seq, fn, arg, True]
+        self._pending += 1
+        heappush(self._queue, event)
 
     @property
     def pending(self) -> int:
@@ -238,6 +306,8 @@ class Simulator:
         profiler = self.profiler
         total = self.events_fired
         end = total + (_NEVER if max_events is None else max_events)
+        free_events = self._free_events
+        recycle = free_events.append
         try:
             if until is None and profiler is None:
                 while queue:
@@ -245,10 +315,16 @@ class Simulator:
                     fn = event[2]
                     if fn is None:
                         continue  # cancelled: uncounted by Event.cancel
-                    event[2] = None  # mark fired: late cancel() is a no-op
                     self._pending -= 1
                     self._now = event[0]
-                    fn(*event[3])
+                    if type(event) is list:  # recyclable no-handle entry
+                        fn(event[3])
+                        event[2] = None
+                        event[3] = None  # drop the arg reference promptly
+                        recycle(event)
+                    else:
+                        event[2] = None  # mark fired: late cancel() no-ops
+                        fn(*event[3])
                     total += 1
                     if total >= self._watch_next:
                         self.events_fired = total
@@ -273,15 +349,26 @@ class Simulator:
                 fn = event[2]
                 if fn is None:
                     continue  # cancelled: already uncounted by Event.cancel
-                event[2] = None  # mark fired so a late cancel() is a no-op
                 self._pending -= 1
                 self._now = when
-                if profiler is None:
-                    fn(*event[3])
+                if type(event) is list:  # recyclable no-handle entry
+                    if profiler is None:
+                        fn(event[3])
+                    else:
+                        start_ns = perf_counter_ns()
+                        fn(event[3])
+                        profiler.record(fn, perf_counter_ns() - start_ns)
+                    event[2] = None
+                    event[3] = None
+                    recycle(event)
                 else:
-                    start_ns = perf_counter_ns()
-                    fn(*event[3])
-                    profiler.record(fn, perf_counter_ns() - start_ns)
+                    event[2] = None  # mark fired so a late cancel() no-ops
+                    if profiler is None:
+                        fn(*event[3])
+                    else:
+                        start_ns = perf_counter_ns()
+                        fn(*event[3])
+                        profiler.record(fn, perf_counter_ns() - start_ns)
                 total += 1
                 if total >= self._watch_next:
                     self.events_fired = total

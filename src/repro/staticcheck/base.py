@@ -108,10 +108,17 @@ def make_registry():
     """Instantiate the standard pass list (import here to avoid cycles)."""
     from repro.staticcheck.determinism import DeterminismPass
     from repro.staticcheck.dispatch import DispatchPass
+    from repro.staticcheck.pooling import PoolDisciplinePass
     from repro.staticcheck.purity import PurityPass
     from repro.staticcheck.tokens import TokenDisciplinePass
 
-    return [DispatchPass(), DeterminismPass(), TokenDisciplinePass(), PurityPass()]
+    return [
+        DispatchPass(),
+        DeterminismPass(),
+        TokenDisciplinePass(),
+        PurityPass(),
+        PoolDisciplinePass(),
+    ]
 
 
 #: The standard passes, in report order.

@@ -1,0 +1,229 @@
+"""Message-pool discipline (rule ``pool-discipline``).
+
+Pooled :class:`~repro.interconnect.message.Message` records live exactly
+from acquire to final delivery: the receiving controller's dispatch runs,
+then the record goes back on the freelist and its fields are overwritten
+by the next acquire.  Any reference that outlives the dispatch is an
+aliasing bug waiting for a freelist reuse — the classic symptom is a
+deferred callback firing with a message that now describes a *different*
+transaction.  The pooling equivalence tests catch this dynamically on the
+configs they run; this pass closes the loop statically.
+
+Flagged inside handler methods (any method with a parameter named
+``msg`` in the simulation packages):
+
+* **escape to the instance** — ``self.x = msg``, ``self.x[k] = msg``, or
+  container escapes (``self.x.append/add/appendleft(msg)``): the message
+  would outlive its delivery on controller state;
+* **escape to a closure** — a nested ``def``/``lambda`` that refers to
+  ``msg``: deferred continuations must copy scalars out instead (see
+  ``TokenCacheController._respond_transient``);
+* **use after release** — referencing ``msg`` in a statement after a
+  ``release(msg)`` call in the same block: the record may already be
+  reissued.
+
+The :class:`~repro.core.persistent.Arbiter` queue is the one sanctioned
+retention site (arbiter-path requests are constructed plain, never
+pooled), approved below.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.staticcheck.base import Pass, module_in
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.source import SourceFile
+
+#: Packages whose controllers handle pooled messages.  ``repro.faults``
+#: is deliberately absent: the injector's in-flight ledger is the
+#: sanctioned owner of messages it absorbs and re-emits.
+SCOPE = (
+    "repro.core",
+    "repro.directory",
+    "repro.interconnect",
+    "repro.snooping",
+    "repro.perfect",
+)
+
+#: (class, method) pairs allowed to retain a handled message.
+APPROVED: Tuple[Tuple[str, Optional[str]], ...] = (
+    # The arbiter queues PERSIST_REQ until activation; requestors send
+    # those as plain (unpooled) constructions for exactly this reason.
+    ("Arbiter", "_process"),
+    # The pool's own free list is where released records are *supposed*
+    # to be retained.
+    ("MessagePool", None),
+    # Directory-protocol messages are never pooled (only the token
+    # protocols route through MessagePool), so parking a demand message
+    # across a hold window cannot alias a recycled record.
+    ("DirL1Controller", "_defer"),
+)
+
+#: Parameter name identifying the handled (pool-owned) message.
+_MSG = "msg"
+
+#: Container methods that capture a reference to their argument.
+_CAPTURING_CALLS = {"append", "appendleft", "add", "push", "setdefault"}
+
+
+def _is_approved(class_name: Optional[str], method: Optional[str]) -> bool:
+    for cls, meth in APPROVED:
+        if class_name == cls and (meth is None or method == meth):
+            return True
+    return False
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    """``self.x`` or any attribute/subscript chain rooted at ``self``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _mentions_msg(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == _MSG
+        for sub in ast.walk(node)
+    )
+
+
+class PoolDisciplinePass(Pass):
+    id = "pooling"
+    description = "pooled messages do not escape past their delivery"
+    rules = ("pool-discipline",)
+
+    def check(self, files: List[SourceFile]) -> List[Finding]:
+        findings: List[Finding] = []
+        for src in files:
+            if src.module != "<fixture>" and not module_in(src, SCOPE):
+                continue
+            findings.extend(self._scan(src))
+        return findings
+
+    def _scan(self, src: SourceFile) -> List[Finding]:
+        out: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _is_approved(node.name, stmt.name):
+                    continue
+                params = {a.arg for a in stmt.args.args}
+                if _MSG not in params:
+                    continue
+                self._scan_handler(src, node.name, stmt, out)
+        return out
+
+    def _scan_handler(
+        self,
+        src: SourceFile,
+        class_name: str,
+        fn: ast.FunctionDef,
+        out: List[Finding],
+    ) -> None:
+        where = f"{class_name}.{fn.name}"
+        for sub in ast.walk(fn):
+            # Escape to the instance: self.x = msg / self.x[k] = msg.
+            if isinstance(sub, ast.Assign):
+                value = sub.value
+                if isinstance(value, ast.Name) and value.id == _MSG:
+                    for tgt in sub.targets:
+                        if _is_self_attr(tgt):
+                            out.append(self.finding(
+                                src, sub, "pool-discipline",
+                                f"pooled message stored on the instance in "
+                                f"{where} — it is recycled after delivery; "
+                                f"copy the scalars you need instead",
+                            ))
+            # Escape into a container hanging off self.
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _CAPTURING_CALLS
+                    and _is_self_attr(func.value)
+                    and any(
+                        isinstance(a, ast.Name) and a.id == _MSG
+                        for a in sub.args
+                    )
+                ):
+                    out.append(self.finding(
+                        src, sub, "pool-discipline",
+                        f"pooled message captured into a container in "
+                        f"{where} ({func.attr}) — it is recycled after "
+                        f"delivery; copy the scalars you need instead",
+                    ))
+            # Escape into a deferred closure.
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                if sub is fn:
+                    continue
+                inner_params = {a.arg for a in sub.args.args}
+                if _MSG in inner_params:
+                    continue  # shadowed: the closure owns its own msg
+                if _mentions_msg(sub.body if isinstance(sub, ast.Lambda)
+                                 else ast.Module(body=sub.body,
+                                                 type_ignores=[])):
+                    out.append(self.finding(
+                        src, sub, "pool-discipline",
+                        f"closure in {where} captures the handled message "
+                        f"— a deferred continuation outlives the delivery; "
+                        f"pass scalars (mtype/addr/requestor) instead",
+                    ))
+        # Use after release, per statement block.
+        self._scan_use_after_release(src, where, fn, out)
+
+    def _scan_use_after_release(
+        self,
+        src: SourceFile,
+        where: str,
+        fn: ast.FunctionDef,
+        out: List[Finding],
+    ) -> None:
+        for body in _blocks(fn):
+            released_at: Optional[ast.stmt] = None
+            for stmt in body:
+                if released_at is not None and _mentions_msg(stmt):
+                    out.append(self.finding(
+                        src, stmt, "pool-discipline",
+                        f"pooled message used after release(msg) in "
+                        f"{where} — the record may already be reissued",
+                    ))
+                    released_at = None  # one finding per block is enough
+                if _is_release_call(stmt):
+                    released_at = stmt
+        return None
+
+
+def _is_release_call(stmt: ast.stmt) -> bool:
+    """True for an expression statement ``<anything>.release(msg)``."""
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return False
+    call = stmt.value
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "release"
+        and len(call.args) == 1
+        and isinstance(call.args[0], ast.Name)
+        and call.args[0].id == _MSG
+    )
+
+
+def _blocks(fn: ast.FunctionDef):
+    """Every statement list nested under ``fn`` (bodies, orelse, finally)."""
+    stack: List[List[ast.stmt]] = [fn.body]
+    while stack:
+        body = stack.pop()
+        yield body
+        for stmt in body:
+            for field in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field, None)
+                if isinstance(inner, list) and inner and isinstance(
+                    inner[0], ast.stmt
+                ):
+                    stack.append(inner)

@@ -23,12 +23,13 @@ preserves the paper's comparison.
 from __future__ import annotations
 
 import dataclasses
-from typing import Generator, List
+from array import array
+from typing import Dict, Generator, List
 
 from repro.common.rng import substream
-from repro.cpu.ops import Fetch, Load, Store, Think
+from repro.cpu.ops import Fetch, Load, Rmw, Store, Think
 from repro.workloads.base import Workload
-from repro.workloads.locking import LOCK_FREE, test_and_set
+from repro.workloads.locking import LOCK_FREE, LOCK_HELD
 
 
 @dataclasses.dataclass(frozen=True)
@@ -93,7 +94,23 @@ PROFILES = {"oltp": OLTP, "apache": APACHE, "specjbb": SPECJBB}
 
 
 class CommercialWorkload(Workload):
-    """Synthetic reference stream with a commercial sharing profile."""
+    """Synthetic reference stream with a commercial sharing profile.
+
+    The stream is **vectorized**: every per-processor rng decision
+    (access class, block picks, store values) is made once at
+    construction and compiled into a flat ``array('q')`` program of
+    4-int records, so steady-state generation is array reads plus
+    interned op objects instead of per-reference object churn.  Only the
+    genuinely runtime-dependent parts stay in the generator: the
+    test-and-test-and-set spin (which consumes no rng — its trip count
+    depends on other processors) and the migratory read-modify-write
+    values.  The rng draw order of :meth:`_compile` replicates the old
+    per-reference generator exactly, so streams are bit-identical to the
+    pre-vectorized implementation.
+    """
+
+    # Program record: (body opcode, fetch addr or -1, a, b).
+    _LOCK, _MIG, _RO, _STREAM, _PRIV_STORE, _PRIV_LOAD = range(6)
 
     def __init__(self, params, profile: CommercialProfile, seed: int = 0):
         super().__init__(params, seed)
@@ -108,6 +125,13 @@ class CommercialWorkload(Workload):
         ]
         self.completed_refs = [0] * params.num_procs
         self._stream_counters = [0] * params.num_procs
+        # Interned immutable op objects, shared across yields and procs.
+        self._think = Think(profile.think_ns)
+        self._loads: Dict[int, Load] = {}
+        self._fetches: Dict[int, Fetch] = {}
+        self._tas: Dict[int, Rmw] = {}
+        self._unlocks: Dict[int, Store] = {}
+        self._programs = [self._compile(p) for p in range(params.num_procs)]
 
     def _stream_block(self, proc: int) -> int:
         """Next block of this processor's capacity stream.
@@ -129,55 +153,127 @@ class CommercialWorkload(Workload):
         lane = proc * 2 + (k % 2)
         return (base_index + lane + (k // 2) * l2_sets) * p.block_size
 
-    def generators(self) -> List[Generator]:
-        return [self._thread(p) for p in range(self.params.num_procs)]
+    def _compile(self, proc: int) -> array:
+        """Precompute this processor's reference stream as a flat program.
 
-    def _thread(self, proc: int) -> Generator:
+        Draws from the rng in exactly the per-reference order of the old
+        generator (the spin loop consumed no rng, and the lock path's
+        record pick came after an rng-free acquire), so the compiled
+        stream is draw-for-draw identical.
+        """
         prof = self.profile
         rng = substream(self.seed, "commercial", prof.name, proc)
         p_lock = prof.p_lock
         p_mig = p_lock + prof.p_migratory
         p_ro = p_mig + prof.p_read_shared
         p_str = p_ro + prof.p_stream
+        prog = array("q")
+        extend = prog.extend
         for _ in range(prof.refs_per_proc):
-            yield Think(prof.think_ns)
+            fetch_addr = -1
             if rng.random() < prof.p_fetch:
                 # Hot-skewed instruction fetch: most go to a few blocks.
                 if rng.random() < 0.7:
-                    code = self.code[rng.randrange(4)]
+                    fetch_addr = self.code[rng.randrange(4)]
                 else:
-                    code = self.code[rng.randrange(len(self.code))]
-                yield Fetch(code)
+                    fetch_addr = self.code[rng.randrange(len(self.code))]
             r = rng.random()
             if r < p_lock:
                 lock = self.locks[rng.randrange(len(self.locks))]
-                while True:
-                    if (yield Load(lock)) == LOCK_FREE:
-                        if (yield test_and_set(lock)) == LOCK_FREE:
-                            break
-                # Short critical section: update a migratory record.
                 record = self.migratory[rng.randrange(len(self.migratory))]
-                value = yield Load(record)
-                yield Store(record, value + 1)
-                yield Store(lock, LOCK_FREE)
+                body, a, b = self._LOCK, lock, record
             elif r < p_mig:
-                # Unsynchronized read-modify-write sharing (migratory).
                 record = self.migratory[rng.randrange(len(self.migratory))]
-                value = yield Load(record)
-                yield Store(record, value + 1)
+                body, a, b = self._MIG, record, 0
             elif r < p_ro:
-                yield Load(self.read_shared[rng.randrange(len(self.read_shared))])
+                body, a, b = (
+                    self._RO, self.read_shared[rng.randrange(len(self.read_shared))], 0
+                )
             elif r < p_str:
-                # Capacity stream: write a fresh conflicting block (it will
-                # come back out of the L2 as a dirty writeback).
-                yield Store(self._stream_block(proc), proc)
+                body, a, b = self._STREAM, self._stream_block(proc), 0
             else:
                 block = self.private[proc][rng.randrange(len(self.private[proc]))]
                 if rng.random() < prof.store_fraction_private:
-                    yield Store(block, rng.randrange(1 << 16))
+                    body, a, b = self._PRIV_STORE, block, rng.randrange(1 << 16)
                 else:
-                    yield Load(block)
-            self.completed_refs[proc] += 1
+                    body, a, b = self._PRIV_LOAD, block, 0
+            extend((body, fetch_addr, a, b))
+        return prog
+
+    # Interned-op helpers: one immutable op object per distinct address.
+    def _load(self, addr: int) -> Load:
+        op = self._loads.get(addr)
+        if op is None:
+            self._loads[addr] = op = Load(addr)
+        return op
+
+    def _fetch(self, addr: int) -> Fetch:
+        op = self._fetches.get(addr)
+        if op is None:
+            self._fetches[addr] = op = Fetch(addr)
+        return op
+
+    def _tas_op(self, addr: int) -> Rmw:
+        op = self._tas.get(addr)
+        if op is None:
+            self._tas[addr] = op = Rmw(addr, lambda v: LOCK_HELD)
+        return op
+
+    def _unlock(self, addr: int) -> Store:
+        op = self._unlocks.get(addr)
+        if op is None:
+            self._unlocks[addr] = op = Store(addr, LOCK_FREE)
+        return op
+
+    def generators(self) -> List[Generator]:
+        return [self._run(p) for p in range(self.params.num_procs)]
+
+    def _run(self, proc: int) -> Generator:
+        """Replay the compiled program (the runtime half of the stream)."""
+        prog = self._programs[proc]
+        think = self._think
+        completed = self.completed_refs
+        LOCK, MIG, RO, STREAM, PRIV_STORE, PRIV_LOAD = (
+            self._LOCK, self._MIG, self._RO,
+            self._STREAM, self._PRIV_STORE, self._PRIV_LOAD,
+        )
+        n = len(prog)
+        i = 0
+        while i < n:
+            body = prog[i]
+            fetch_addr = prog[i + 1]
+            a = prog[i + 2]
+            b = prog[i + 3]
+            i += 4
+            yield think
+            if fetch_addr >= 0:
+                yield self._fetch(fetch_addr)
+            if body == PRIV_LOAD:
+                yield self._load(a)
+            elif body == MIG:
+                # Unsynchronized read-modify-write sharing (migratory).
+                value = yield self._load(a)
+                yield Store(a, value + 1)
+            elif body == STREAM:
+                # Capacity stream: write a fresh conflicting block (it will
+                # come back out of the L2 as a dirty writeback).
+                yield Store(a, proc)
+            elif body == RO:
+                yield self._load(a)
+            elif body == PRIV_STORE:
+                yield Store(a, b)
+            else:  # LOCK
+                lock_load = self._load(a)
+                lock_tas = self._tas_op(a)
+                while True:
+                    if (yield lock_load) == LOCK_FREE:
+                        if (yield lock_tas) == LOCK_FREE:
+                            break
+                # Short critical section: update a migratory record.
+                value = yield self._load(b)
+                yield Store(b, value + 1)
+                yield self._unlock(a)
+            completed[proc] += 1
 
 
 def make_commercial(params, name: str, seed: int = 0, **overrides) -> CommercialWorkload:

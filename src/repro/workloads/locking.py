@@ -45,6 +45,13 @@ class LockingWorkload(Workload):
         self.hold_ns = hold_ns
         self.locks = self.alloc.blocks(num_locks)
         self.acquired_counts = [0] * params.num_procs
+        # Interned immutable ops (one per lock): spin loops re-yield the
+        # same Load/Rmw objects instead of churning fresh ones per probe.
+        self._think = Think(think_ns)
+        self._hold = Think(hold_ns)
+        self._loads = [Load(lock) for lock in self.locks]
+        self._tas = [test_and_set(lock) for lock in self.locks]
+        self._unlocks = [Store(lock, LOCK_FREE) for lock in self.locks]
 
     def generators(self) -> List[Generator]:
         return [self._thread(p) for p in range(self.params.num_procs)]
@@ -53,20 +60,21 @@ class LockingWorkload(Workload):
         rng = substream(self.seed, "locking", proc)
         last = -1
         for _ in range(self.acquires_per_proc):
-            yield Think(self.think_ns)
+            yield self._think
             if self.num_locks == 1:
                 pick = 0
             else:
                 pick = rng.randrange(self.num_locks - 1)
                 if pick >= last:
                     pick += 1  # uniform over locks != last
-            lock = self.locks[pick]
             last = pick
             # Test-and-test-and-set acquire.
+            lock_load = self._loads[pick]
+            lock_tas = self._tas[pick]
             while True:
-                if (yield Load(lock)) == LOCK_FREE:
-                    if (yield test_and_set(lock)) == LOCK_FREE:
+                if (yield lock_load) == LOCK_FREE:
+                    if (yield lock_tas) == LOCK_FREE:
                         break
             self.acquired_counts[proc] += 1
-            yield Think(self.hold_ns)
-            yield Store(lock, LOCK_FREE)
+            yield self._hold
+            yield self._unlocks[pick]

@@ -3,14 +3,16 @@
 import pytest
 
 from repro.__main__ import main as cli_main
-from repro.analysis.report import ResultTable, mean_runtime, run_one, traffic_breakdown_normalized
+from repro.analysis.report import ResultTable, traffic_breakdown_normalized
 from repro.common.params import SystemParams
+from repro.exp.runner import run_cell
+from repro.exp.spec import Cell
 from repro.interconnect.traffic import Scope, TrafficClass
-from repro.workloads.sharing import CounterWorkload
 
 
-def _factory(params, seed):
-    return CounterWorkload(params, increments=3, seed=seed)
+def _cell(small, protocol, seed=1):
+    return Cell(protocol=protocol, workload="counter",
+                workload_kwargs={"increments": 3}, seed=seed, params=small)
 
 
 @pytest.fixture
@@ -18,15 +20,10 @@ def small():
     return SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
 
 
-def test_run_one_returns_result(small):
-    res = run_one(small, "PerfectL2", _factory, seed=1)
+def test_run_cell_returns_result(small):
+    res = run_cell(_cell(small, "PerfectL2"))
     assert res.protocol == "PerfectL2"
     assert res.runtime_ps > 0
-
-
-def test_mean_runtime_over_seeds(small):
-    mean = mean_runtime(small, "PerfectL2", _factory, seeds=(1, 2))
-    assert mean > 0
 
 
 def test_result_table_renders_aligned():
@@ -44,7 +41,7 @@ def test_result_table_renders_aligned():
 
 def test_traffic_breakdown_normalization(small):
     results = {
-        name: run_one(small, name, _factory, seed=1)
+        name: run_cell(_cell(small, name)).raw
         for name in ("DirectoryCMP", "TokenCMP-dst1")
     }
     norm = traffic_breakdown_normalized(results, Scope.INTER, "DirectoryCMP")

@@ -9,7 +9,7 @@ from repro.analysis.consistency import (
 )
 from repro.common.errors import VerificationError
 from repro.common.params import SystemParams
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.locking import LockingWorkload
 from repro.workloads.sharing import CounterWorkload
 
@@ -52,7 +52,7 @@ def test_blocks_are_independent():
 ])
 def test_live_protocols_produce_serializable_histories(proto):
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, proto, seed=17)
+    machine = MachineSpec(params=params, protocol=proto, seed=17).build()
     log = attach_audit(machine)
     wl = CounterWorkload(params, increments=6, seed=17)
     machine.run(wl, max_events=20_000_000)
@@ -62,7 +62,7 @@ def test_live_protocols_produce_serializable_histories(proto):
 
 def test_audit_on_contended_locking():
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "TokenCMP-dst1", seed=19)
+    machine = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=19).build()
     log = attach_audit(machine)
     wl = LockingWorkload(params, num_locks=2, acquires_per_proc=8, seed=19)
     machine.run(wl, max_events=20_000_000)

@@ -9,7 +9,7 @@ from repro.cpu.sequencer import Sequencer
 from repro.cpu.thread import ProcThread
 from repro.sim.kernel import Simulator
 from repro.system.config import PROTOCOLS, ProtocolConfig, protocol
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.common.errors import ConfigError
 
 
@@ -141,7 +141,7 @@ def test_config_validation():
 ])
 def test_builder_wires_expected_controllers(proto, kinds):
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, proto)
+    machine = MachineSpec(params=params, protocol=proto).build()
     built = {node.kind.value for node in machine.controllers}
     assert built == kinds
     assert len(machine.l1ds) == params.num_procs
@@ -150,7 +150,7 @@ def test_builder_wires_expected_controllers(proto, kinds):
 
 def test_token_machine_wires_ledgers_and_predictors():
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "TokenCMP-dst1-mcast")
+    machine = MachineSpec(params=params, protocol="TokenCMP-dst1-mcast").build()
     from repro.core.l2 import TokenL2Controller
 
     l2s = [c for c in machine.controllers.values() if isinstance(c, TokenL2Controller)]
@@ -171,7 +171,7 @@ def _run_batch(proto, ops):
     from repro.cpu.ops import Batch
 
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, proto, seed=7)
+    machine = MachineSpec(params=params, protocol=proto, seed=7).build()
     results = []
     machine.sequencers[0].issue_batch(ops, results.append)
     machine.sim.run(max_events=2_000_000)
@@ -195,7 +195,7 @@ def test_batch_overlaps_misses():
     from repro.cpu.ops import Load
 
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    serial = Machine(params, "TokenCMP-dst1", seed=7)
+    serial = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=7).build()
     t = {"serial": 0, "batch": 0}
     addrs = [0x2000 + i * 64 for i in range(4)]
 
@@ -206,7 +206,7 @@ def test_batch_overlaps_misses():
     serial.sim.run(max_events=2_000_000)
     t["serial"] = serial.sim.now
 
-    batch = Machine(params, "TokenCMP-dst1", seed=7)
+    batch = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=7).build()
     batch.sequencers[0].issue_batch([Load(a) for a in addrs], lambda r: None)
     batch.sim.run(max_events=2_000_000)
     t["batch"] = batch.sim.now
@@ -217,7 +217,7 @@ def test_batch_rejects_same_block_ops():
     from repro.cpu.ops import Load, Store
 
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "TokenCMP-dst1", seed=7)
+    machine = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=7).build()
     with pytest.raises(ValueError, match="distinct blocks"):
         machine.sequencers[0].issue_batch(
             [Load(0x3000), Store(0x3010, 1)], lambda r: None
@@ -244,7 +244,7 @@ def test_batch_via_workload_generator():
                 yield Think(1.0)
             return [thread0()] + [idle() for _ in range(params.num_procs - 1)]
 
-    machine = Machine(params, "DirectoryCMP", seed=7)
+    machine = MachineSpec(params=params, protocol="DirectoryCMP", seed=7).build()
     wl = BatchyWorkload(params)
     machine.run(wl, max_events=2_000_000)
     assert wl.got == [0, 0, 0, 0]
@@ -254,14 +254,14 @@ def test_run_measured_reports_phase_deltas():
     from repro.workloads.sharing import CounterWorkload
 
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "TokenCMP-dst1", seed=3)
+    machine = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=3).build()
     warm = CounterWorkload(params, increments=4, seed=3)
     measured = CounterWorkload(params, increments=4, seed=4)
     result = machine.run_measured(warm, measured)
     # The measured phase is shorter than total simulated time...
     assert 0 < result.runtime_ps < machine.sim.now
     # ... and its miss count excludes the warm-up's cold misses.
-    cold = Machine(params, "TokenCMP-dst1", seed=3)
+    cold = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=3).build()
     cold_result = cold.run(CounterWorkload(params, increments=4, seed=3))
     assert result.stats.get("l1.misses") <= cold_result.stats.get("l1.misses")
     machine.check_token_invariants()

@@ -3,7 +3,7 @@
 from repro.common.params import SystemParams
 from repro.core.destset import DestinationSetPredictor
 from repro.cpu.ops import Load, Store
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 
 
 def test_untrained_predictor_falls_back_to_broadcast():
@@ -44,7 +44,7 @@ def test_forget_removes_holder():
 
 def test_multicast_variant_end_to_end():
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    m = Machine(params, "TokenCMP-dst1-mcast", seed=3)
+    m = MachineSpec(params=params, protocol="TokenCMP-dst1-mcast", seed=3).build()
     out = {}
 
     def run_op(proc, op):
@@ -71,7 +71,7 @@ def test_multicast_reduces_inter_traffic_on_migratory_sharing():
     totals = {}
     for proto in ("TokenCMP-dst1", "TokenCMP-dst1-mcast"):
         params = SystemParams(num_chips=4, procs_per_chip=2, tokens_per_block=32)
-        m = Machine(params, proto, seed=3)
+        m = MachineSpec(params=params, protocol=proto, seed=3).build()
         wl = CounterWorkload(params, increments=8, think_ns=40.0, seed=3)
         m.run(wl, max_events=30_000_000)
         totals[proto] = m.meter.scope_bytes(Scope.INTER)

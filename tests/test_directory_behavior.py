@@ -5,7 +5,7 @@ import pytest
 from repro.common.params import SystemParams
 from repro.cpu.ops import Load, Rmw, Store
 from repro.directory.states import E, M, O, S
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 
 
 ADDR = 0x6000_0000
@@ -13,7 +13,7 @@ ADDR = 0x6000_0000
 
 def machine(**kw):
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16, **kw)
-    return Machine(params, "DirectoryCMP", seed=11), params
+    return MachineSpec(params=params, protocol="DirectoryCMP", seed=11).build(), params
 
 
 def run_op(m, proc, op):
@@ -122,7 +122,7 @@ def test_zero_cycle_directory_speeds_up_forwards():
     runtimes = {}
     for proto in ("DirectoryCMP", "DirectoryCMP-zero"):
         params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-        m = Machine(params, proto, seed=11)
+        m = MachineSpec(params=params, protocol=proto, seed=11).build()
         run_op(m, 0, Store(ADDR, 1))  # dirty in a remote L1
         start = m.sim.now
         run_op(m, 2, Load(ADDR))  # needs a forward through the directory

@@ -232,18 +232,14 @@ def test_every_protocol_runs_one_cell(proto):
 # ---------------------------------------------------------------------------
 # Legacy shims.
 # ---------------------------------------------------------------------------
-def test_run_one_is_deprecated_but_compatible(small):
-    from repro.analysis.report import run_one
+def test_legacy_run_helpers_are_gone():
+    # run_one/mean_runtime (and bench_common's runtime_grid/results_grid)
+    # were removed after a deprecation cycle; the declarative Cell path
+    # is the only entry point.  Guard against reintroduction.
+    import repro.analysis.report as report
 
-    with pytest.deprecated_call():
-        res = run_one(
-            small, "PerfectL2",
-            lambda p, s: CounterWorkload(p, increments=2, seed=s), seed=1,
-        )
-    # Old return type: the in-process RunResult with the machine attached.
-    assert res.protocol == "PerfectL2"
-    assert res.runtime_ps > 0
-    assert res.machine is not None
+    assert not hasattr(report, "run_one")
+    assert not hasattr(report, "mean_runtime")
 
 
 # ---------------------------------------------------------------------------

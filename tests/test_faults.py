@@ -12,7 +12,7 @@ from repro.interconnect.message import Message, MsgType
 from repro.interconnect.network import Network
 from repro.interconnect.traffic import TrafficMeter
 from repro.sim.kernel import Simulator
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.base import Workload
 from repro.workloads.locking import LockingWorkload
 
@@ -151,8 +151,7 @@ def test_rate_validation():
 # ---------------------------------------------------------------------------
 @pytest.mark.parametrize("proto", ["TokenCMP-arb0", "TokenCMP-dst0", "TokenCMP-dst4"])
 def test_locking_completes_under_ten_percent_faults(small_params, proto):
-    machine = Machine(small_params, proto, seed=3,
-                      faults=FaultConfig.adversarial(0.10))
+    machine = MachineSpec(params=small_params, protocol=proto, seed=3, faults=FaultConfig.adversarial(0.10)).build()
     watchdog = LivenessWatchdog(machine)
     monitor = InvariantMonitor(machine, check_every_events=512)
     wl = LockingWorkload(small_params, num_locks=4, acquires_per_proc=6, seed=3)
@@ -165,8 +164,7 @@ def test_locking_completes_under_ten_percent_faults(small_params, proto):
 
 def test_faulty_runs_are_reproducible(small_params):
     def one_run():
-        machine = Machine(small_params, "TokenCMP-dst1", seed=5,
-                          faults=FaultConfig.adversarial(0.15))
+        machine = MachineSpec(params=small_params, protocol="TokenCMP-dst1", seed=5, faults=FaultConfig.adversarial(0.15)).build()
         wl = LockingWorkload(small_params, num_locks=2, acquires_per_proc=6, seed=5)
         result = machine.run(wl, max_events=20_000_000)
         return result.runtime_ps, dict(machine.stats.counters)
@@ -176,7 +174,7 @@ def test_faulty_runs_are_reproducible(small_params):
 
 def test_fault_free_wrapper_changes_nothing(small_params):
     def run(faults):
-        machine = Machine(small_params, "TokenCMP-dst1", seed=2, faults=faults)
+        machine = MachineSpec(params=small_params, protocol="TokenCMP-dst1", seed=2, faults=faults).build()
         wl = LockingWorkload(small_params, num_locks=4, acquires_per_proc=5, seed=2)
         return machine.run(wl, max_events=20_000_000).runtime_ps
 
@@ -221,7 +219,7 @@ def _lossy_unsafe():
 
 
 def test_watchdog_raises_starvation_error_with_diagnostics(small_params):
-    machine = Machine(small_params, "TokenCMP-dst0", seed=1, faults=_lossy_unsafe())
+    machine = MachineSpec(params=small_params, protocol="TokenCMP-dst0", seed=1, faults=_lossy_unsafe()).build()
     LivenessWatchdog(machine, budget_ns=500.0, check_every_events=64)
     with pytest.raises(StarvationError) as exc:
         machine.run(_OneStarvedProc(small_params), max_events=5_000_000)
@@ -249,7 +247,7 @@ def test_quiescence_without_completion_gets_diagnostics(small_params):
 
             return [thread(p) for p in range(self.params.num_procs)]
 
-    machine = Machine(small_params, "TokenCMP-dst0", seed=1, faults=_lossy_unsafe())
+    machine = MachineSpec(params=small_params, protocol="TokenCMP-dst0", seed=1, faults=_lossy_unsafe()).build()
     LivenessWatchdog(machine, budget_ns=1e9)  # too lazy to trip first
     with pytest.raises(DeadlockError) as exc:
         machine.run(AllStarved(small_params), max_events=5_000_000)
@@ -262,10 +260,7 @@ def test_quiescence_without_completion_gets_diagnostics(small_params):
 # Continuous invariant monitoring.
 # ---------------------------------------------------------------------------
 def test_invariant_monitor_catches_token_destruction(small_params):
-    machine = Machine(
-        small_params, "TokenCMP-dst0", seed=1,
-        faults=FaultConfig(response=ClassPolicy(drop=1.0), allow_unsafe=True),
-    )
+    machine = MachineSpec(params=small_params, protocol="TokenCMP-dst0", seed=1, faults=FaultConfig(response=ClassPolicy(drop=1.0), allow_unsafe=True)).build()
     InvariantMonitor(machine, check_every_events=32)
     wl = LockingWorkload(small_params, num_locks=2, acquires_per_proc=4, seed=1)
     with pytest.raises((ProtocolError, DeadlockError)) as exc:
@@ -278,7 +273,7 @@ def test_invariant_monitor_catches_token_destruction(small_params):
 
 
 def test_invariant_monitor_rejects_non_token_families(small_params):
-    machine = Machine(small_params, "DirectoryCMP", seed=1)
+    machine = MachineSpec(params=small_params, protocol="DirectoryCMP", seed=1).build()
     with pytest.raises(ValueError):
         InvariantMonitor(machine)
 

@@ -7,7 +7,7 @@ from repro.common.rng import substream
 from repro.common.types import NodeId, NodeKind, ns, to_ns
 from repro.interconnect.message import Message, MsgType
 from repro.interconnect.traffic import Scope, TrafficClass, TrafficMeter
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.sharing import CounterWorkload
 
 
@@ -44,7 +44,7 @@ def test_traffic_meter_counts_messages_per_scope():
 
 def test_network_link_utilization_reports_bytes():
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "TokenCMP-dst1", seed=1)
+    machine = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=1).build()
     machine.run(CounterWorkload(params, increments=3, seed=1), max_events=5_000_000)
     util = machine.net.link_utilization()
     assert any(v > 0 for v in util.values())
@@ -53,14 +53,14 @@ def test_network_link_utilization_reports_bytes():
 
 def test_kernel_counts_fired_events():
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "PerfectL2", seed=1)
+    machine = MachineSpec(params=params, protocol="PerfectL2", seed=1).build()
     machine.run(CounterWorkload(params, increments=2, seed=1))
     assert machine.sim.events_fired > 50
 
 
 def test_touched_blocks_reports_workload_footprint():
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "TokenCMP-dst1", seed=1)
+    machine = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=1).build()
     wl = CounterWorkload(params, increments=3, seed=1)
     machine.run(wl, max_events=5_000_000)
     touched = machine.touched_blocks()
@@ -73,7 +73,7 @@ def test_machine_accepts_config_objects_directly():
 
     cfg = dataclasses.replace(PROTOCOLS["TokenCMP-dst1"], name="custom")
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, cfg, seed=1)
+    machine = MachineSpec(params=params, protocol=cfg, seed=1).build()
     result = machine.run(CounterWorkload(params, increments=2, seed=1),
                          max_events=5_000_000)
     assert result.protocol == "custom"
@@ -83,7 +83,7 @@ def test_check_token_invariants_rejected_for_other_families():
     from repro.common.errors import ProtocolError
 
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "DirectoryCMP", seed=1)
+    machine = MachineSpec(params=params, protocol="DirectoryCMP", seed=1).build()
     with pytest.raises(ProtocolError):
         machine.check_token_invariants()
 
@@ -108,7 +108,7 @@ def test_miss_source_classifier():
 def test_miss_source_profile_collected():
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
     for proto in ("TokenCMP-dst1", "DirectoryCMP"):
-        machine = Machine(params, proto, seed=1)
+        machine = MachineSpec(params=params, protocol=proto, seed=1).build()
         machine.run(CounterWorkload(params, increments=4, seed=1),
                     max_events=10_000_000)
         sources = {k: v for k, v in machine.stats.counters.items()

@@ -12,7 +12,7 @@ from repro.interconnect.network import Network
 from repro.interconnect.traffic import TrafficMeter
 from repro.memory.cache import CacheArray
 from repro.sim.kernel import Simulator
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.base import Workload
 
 
@@ -147,7 +147,7 @@ def test_random_workloads_preserve_token_invariants(script, proto):
     from repro.analysis.consistency import attach_audit, check_per_location_serializability
 
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, proto, seed=1)
+    machine = MachineSpec(params=params, protocol=proto, seed=1).build()
     log = attach_audit(machine)
     wl = RandomWorkload(params, script)
     machine.run(wl, max_events=3_000_000)
@@ -161,7 +161,7 @@ def test_random_workloads_preserve_token_invariants(script, proto):
           suppress_health_check=[HealthCheck.too_slow])
 def test_random_workloads_complete_on_directory(script):
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, "DirectoryCMP", seed=1)
+    machine = MachineSpec(params=params, protocol="DirectoryCMP", seed=1).build()
     wl = RandomWorkload(params, script)
     machine.run(wl, max_events=3_000_000)  # raises on deadlock
     # The final value of each block is one that was actually written.
@@ -196,7 +196,7 @@ def test_token_and_directory_agree_when_racefree(script):
                 else:
                     yield Think(1.0)
 
-        machine = Machine(params, proto, seed=1)
+        machine = MachineSpec(params=params, protocol=proto, seed=1).build()
         wl = OneProc(params, single)
         machine.run(wl, max_events=3_000_000)
         finals[proto] = [machine.coherent_value(a) for a in wl.blocks]

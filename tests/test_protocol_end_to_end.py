@@ -9,7 +9,7 @@ import pytest
 
 from conftest import ALL_PROTOCOLS, COHERENT_PROTOCOLS, TOKEN_PROTOCOLS
 from repro.common.params import SystemParams
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.barrier import BarrierWorkload
 from repro.workloads.locking import LockingWorkload
 from repro.workloads.sharing import CounterWorkload
@@ -19,7 +19,7 @@ MAX_EVENTS = 30_000_000
 
 @pytest.mark.parametrize("proto", ALL_PROTOCOLS)
 def test_shared_counter_is_exact(small_params, proto):
-    m = Machine(small_params, proto, seed=3)
+    m = MachineSpec(params=small_params, protocol=proto, seed=3).build()
     wl = CounterWorkload(small_params, increments=6)
     m.run(wl, max_events=MAX_EVENTS)
     assert m.coherent_value(wl.counter) == wl.expected_total
@@ -28,7 +28,7 @@ def test_shared_counter_is_exact(small_params, proto):
 
 @pytest.mark.parametrize("proto", ALL_PROTOCOLS)
 def test_locking_completes_all_acquires(small_params, proto):
-    m = Machine(small_params, proto, seed=5)
+    m = MachineSpec(params=small_params, protocol=proto, seed=5).build()
     wl = LockingWorkload(small_params, num_locks=2, acquires_per_proc=8, seed=5)
     m.run(wl, max_events=MAX_EVENTS)
     assert wl.acquired_counts == [8] * small_params.num_procs
@@ -38,7 +38,7 @@ def test_locking_completes_all_acquires(small_params, proto):
 
 @pytest.mark.parametrize("proto", COHERENT_PROTOCOLS)
 def test_barrier_phases_complete(small_params, proto):
-    m = Machine(small_params, proto, seed=7)
+    m = MachineSpec(params=small_params, protocol=proto, seed=7).build()
     wl = BarrierWorkload(small_params, phases=6, work_ns=100.0, seed=7)
     m.run(wl, max_events=MAX_EVENTS)
     assert wl.completed_phases == [6] * small_params.num_procs
@@ -47,7 +47,7 @@ def test_barrier_phases_complete(small_params, proto):
 
 @pytest.mark.parametrize("proto", TOKEN_PROTOCOLS)
 def test_token_invariants_hold_after_runs(small_params, proto):
-    m = Machine(small_params, proto, seed=11)
+    m = MachineSpec(params=small_params, protocol=proto, seed=11).build()
     wl = CounterWorkload(small_params, increments=5)
     m.run(wl, max_events=MAX_EVENTS)
     m.check_token_invariants()
@@ -55,7 +55,7 @@ def test_token_invariants_hold_after_runs(small_params, proto):
 
 @pytest.mark.parametrize("proto", ["TokenCMP-dst1", "DirectoryCMP"])
 def test_full_machine_16_procs(full_params, proto):
-    m = Machine(full_params, proto, seed=13)
+    m = MachineSpec(params=full_params, protocol=proto, seed=13).build()
     wl = CounterWorkload(full_params, increments=3)
     m.run(wl, max_events=MAX_EVENTS)
     assert m.coherent_value(wl.counter) == wl.expected_total
@@ -67,7 +67,7 @@ def test_full_machine_16_procs(full_params, proto):
 def test_deterministic_given_seed(small_params, proto):
     runtimes = set()
     for _ in range(2):
-        m = Machine(small_params, proto, seed=42)
+        m = MachineSpec(params=small_params, protocol=proto, seed=42).build()
         wl = LockingWorkload(small_params, num_locks=2, acquires_per_proc=6, seed=42)
         res = m.run(wl, max_events=MAX_EVENTS)
         runtimes.add(res.runtime_ps)
@@ -78,7 +78,7 @@ def test_deterministic_given_seed(small_params, proto):
 def test_different_seeds_perturb_runtime(small_params, proto):
     runtimes = set()
     for seed in range(3):
-        m = Machine(small_params, proto, seed=seed)
+        m = MachineSpec(params=small_params, protocol=proto, seed=seed).build()
         # 4 locks: the pick-a-different-lock sequence actually varies by
         # seed (with 2 locks the workload is deterministic by construction).
         wl = LockingWorkload(small_params, num_locks=4, acquires_per_proc=6, seed=seed)
@@ -88,7 +88,7 @@ def test_different_seeds_perturb_runtime(small_params, proto):
 
 
 def test_runtime_stats_recorded(small_params):
-    m = Machine(small_params, "TokenCMP-dst1", seed=1)
+    m = MachineSpec(params=small_params, protocol="TokenCMP-dst1", seed=1).build()
     wl = CounterWorkload(small_params, increments=4)
     res = m.run(wl, max_events=MAX_EVENTS)
     assert res.stats.get("l1.hits") > 0

@@ -18,7 +18,7 @@ from repro.faults.watchdog import (
 )
 from repro.interconnect.message import Message, MsgType
 from repro.recovery import RecoveryLedger
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads import make_workload
 
 
@@ -27,7 +27,7 @@ PROTO = "TokenCMP-dst1"
 
 def _counter_machine(seed, faults=None):
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, PROTO, seed=seed, faults=faults)
+    machine = MachineSpec(params=params, protocol=PROTO, seed=seed, faults=faults).build()
     workload = make_workload("counter", params, seed=seed, increments=4)
     return machine, workload
 
@@ -40,7 +40,7 @@ def test_recreate_request_bumps_epoch_and_reconstitutes():
     every potential holder, reconstitute the full set at memory and grant
     it to the starving requestor."""
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, PROTO, seed=0)
+    machine = MachineSpec(params=params, protocol=PROTO, seed=0).build()
     machine.enable_recovery()
     addr = 0x1000
     requestor = params.l1d_of(0)
@@ -68,7 +68,7 @@ def test_stale_epoch_carrier_is_discarded_at_memory():
     """Token carriers stamped with a closed epoch are dead on arrival —
     absorbing them would double tokens the recreation already replaced."""
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, PROTO, seed=0)
+    machine = MachineSpec(params=params, protocol=PROTO, seed=0).build()
     machine.enable_recovery()
     addr = 0x1000
     requestor = params.l1d_of(0)
@@ -96,7 +96,7 @@ def test_duplicate_recreate_request_rebroadcasts_instead_of_rebumping():
     """A retry from a still-starving requestor must not open a second
     epoch — it re-broadcasts the bump to the holdouts."""
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, PROTO, seed=0)
+    machine = MachineSpec(params=params, protocol=PROTO, seed=0).build()
     machine.enable_recovery()
     addr = 0x2000
     requestor = params.l1d_of(1)
@@ -231,7 +231,7 @@ def test_diagnostics_report_in_progress_recreations():
     """While memory is waiting on surrender acks the liveness dump must
     name the block, its epoch, and the outstanding ack count."""
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(params, PROTO, seed=0)
+    machine = MachineSpec(params=params, protocol=PROTO, seed=0).build()
     machine.enable_recovery()
     addr = 0x3000
     requestor = params.l1d_of(0)

@@ -131,13 +131,17 @@ def test_unknown_pair_falls_back_to_ladder_lazily():
     sim = net.sim
     src = NodeId(NodeKind.MEM, 0)
     dst = NodeId(NodeKind.MEM, 1)
-    del net._routes[(src, dst)]  # simulate a pair outside the enumeration
+    # Simulate a pair outside the enumeration: drop it from both views
+    # of the route cache (the flat table and the nested hot-path table).
+    del net._routes[(src, dst)]
+    del net._routes_from[src][dst]
     seen = []
     net.register(dst, seen.append)
     net.send(Message(MsgType.TOK_ACK, src, dst, 0))
     sim.run()
     assert len(seen) == 1
     assert (src, dst) in net._routes  # memoized for the next send
+    assert net._routes_from[src][dst] == net._routes[(src, dst)]
 
 
 @pytest.mark.parametrize("config", sorted(CONFIGS))

@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.common.params import SystemParams
 from repro.cpu.ops import Load, Rmw, Store
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.barrier import BarrierWorkload
 from repro.workloads.locking import LockingWorkload
 from repro.workloads.sharing import CounterWorkload
@@ -29,12 +29,11 @@ ADDR = 0xA000_0000
 
 def test_snooping_rejects_multi_chip():
     with pytest.raises(ConfigError, match="Single-CMP"):
-        Machine(SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16),
-                "SnoopingSCMP")
+        MachineSpec(params=SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16), protocol="SnoopingSCMP").build()
 
 
 def test_cold_read_grants_exclusive(params):
-    m = Machine(params, "SnoopingSCMP", seed=1)
+    m = MachineSpec(params=params, protocol="SnoopingSCMP", seed=1).build()
     assert run_op(m, 0, Load(ADDR)) == 0
     entry = m.l1ds[0].entry(ADDR)
     assert entry.state == "E"
@@ -45,7 +44,7 @@ def test_cold_read_grants_exclusive(params):
 
 
 def test_read_sharing_downgrades_owner(params):
-    m = Machine(params, "SnoopingSCMP", seed=1)
+    m = MachineSpec(params=params, protocol="SnoopingSCMP", seed=1).build()
     run_op(m, 0, Store(ADDR, 5))
     assert run_op(m, 1, Load(ADDR)) == 5  # cache-to-cache
     assert m.l1ds[0].entry(ADDR).state == "O"
@@ -54,7 +53,7 @@ def test_read_sharing_downgrades_owner(params):
 
 
 def test_getx_invalidates_all_sharers(params):
-    m = Machine(params, "SnoopingSCMP", seed=1)
+    m = MachineSpec(params=params, protocol="SnoopingSCMP", seed=1).build()
     for proc in (0, 1, 2):
         run_op(m, proc, Load(ADDR))
     run_op(m, 3, Store(ADDR, 9))
@@ -65,7 +64,7 @@ def test_getx_invalidates_all_sharers(params):
 
 
 def test_upgrade_race_promotes_to_getx(params):
-    m = Machine(params, "SnoopingSCMP", seed=1)
+    m = MachineSpec(params=params, protocol="SnoopingSCMP", seed=1).build()
     # Two sharers race to write: the loser's upgrade must refetch data.
     run_op(m, 0, Load(ADDR))
     run_op(m, 1, Load(ADDR))
@@ -78,7 +77,7 @@ def test_upgrade_race_promotes_to_getx(params):
 
 
 def test_rmw_serializes_on_bus(params):
-    m = Machine(params, "SnoopingSCMP", seed=1)
+    m = MachineSpec(params=params, protocol="SnoopingSCMP", seed=1).build()
     results = []
     for proc in range(4):
         m.sequencers[proc].issue(Rmw(ADDR, lambda v: v + 1), results.append)
@@ -93,7 +92,7 @@ def test_rmw_serializes_on_bus(params):
     (BarrierWorkload, dict(phases=5, work_ns=100.0), "phases"),
 ])
 def test_snooping_end_to_end_workloads(params, workload_cls, kw, check):
-    m = Machine(params, "SnoopingSCMP", seed=5)
+    m = MachineSpec(params=params, protocol="SnoopingSCMP", seed=5).build()
     wl = workload_cls(params, seed=5, **kw)
     m.run(wl, max_events=20_000_000)
     if check == "counter":
@@ -107,7 +106,7 @@ def test_snooping_end_to_end_workloads(params, workload_cls, kw, check):
 def test_snooping_history_is_serializable(params):
     from repro.analysis.consistency import attach_audit, check_per_location_serializability
 
-    m = Machine(params, "SnoopingSCMP", seed=7)
+    m = MachineSpec(params=params, protocol="SnoopingSCMP", seed=7).build()
     log = attach_audit(m)
     wl = CounterWorkload(params, increments=6, seed=7)
     m.run(wl, max_events=20_000_000)
@@ -119,7 +118,7 @@ def test_snooping_scmp_vs_mcmp_protocols(params):
     the paper's point that S-CMPs don't need the heavy machinery."""
     runtimes = {}
     for proto in ("SnoopingSCMP", "TokenCMP-dst1", "DirectoryCMP"):
-        m = Machine(params, proto, seed=9)
+        m = MachineSpec(params=params, protocol=proto, seed=9).build()
         wl = CounterWorkload(params, increments=8, seed=9)
         runtimes[proto] = m.run(wl, max_events=20_000_000).runtime_ps
     assert runtimes["SnoopingSCMP"] < 2.0 * min(runtimes.values())

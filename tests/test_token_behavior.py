@@ -10,12 +10,12 @@ import pytest
 from repro.common.params import SystemParams
 from repro.common.types import NodeId, NodeKind
 from repro.cpu.ops import Load, Rmw, Store
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 
 
 def machine(proto="TokenCMP-dst1", **kw):
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16, **kw)
-    return Machine(params, proto, seed=9), params
+    return MachineSpec(params=params, protocol=proto, seed=9).build(), params
 
 
 def run_op(m, proc, op):
@@ -82,7 +82,7 @@ def test_migratory_disabled_by_config():
 
     params = SystemParams(num_chips=2, procs_per_chip=2, tokens_per_block=16)
     cfg = dataclasses.replace(PROTOCOLS["TokenCMP-dst1"], migratory=False)
-    m = Machine(params, cfg, seed=9)
+    m = MachineSpec(params=params, protocol=cfg, seed=9).build()
     run_op(m, 0, Load(ADDR))
     run_op(m, 0, Store(ADDR, 3))
     run_op(m, 2, Load(ADDR))

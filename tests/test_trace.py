@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.common.params import SystemParams
 from repro.cpu.ops import Load, Rmw, Store, Think
-from repro.system.machine import Machine
+from repro.system import MachineSpec
 from repro.workloads.trace import TraceWorkload, parse_trace, write_trace
 
 
@@ -43,7 +43,7 @@ def test_parse_trace_rejects_garbage():
 
 def test_trace_workload_runs_on_every_family(params):
     for proto in ("TokenCMP-dst1", "DirectoryCMP", "PerfectL2"):
-        machine = Machine(params, proto, seed=1)
+        machine = MachineSpec(params=params, protocol=proto, seed=1).build()
         wl = TraceWorkload.from_text(params, TRACE)
         machine.run(wl, max_events=1_000_000)
         assert wl.executed == [2, 1, 1, 1]
@@ -62,13 +62,13 @@ def test_trace_roundtrip(tmp_path, params):
     again = parse_trace(str(path))
     assert len(again) == len(records)
     assert again[0] == records[0]
-    machine = Machine(params, "TokenCMP-dst1", seed=1)
+    machine = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=1).build()
     machine.run(TraceWorkload(params, again), max_events=1_000_000)
     machine.check_token_invariants()
 
 
 def test_trace_preserves_per_processor_order(params):
     text = "\n".join(f"0 S 0x1000 {i}" for i in range(10))
-    machine = Machine(params, "DirectoryCMP", seed=1)
+    machine = MachineSpec(params=params, protocol="DirectoryCMP", seed=1).build()
     machine.run(TraceWorkload.from_text(params, text), max_events=1_000_000)
     assert machine.coherent_value(0x1000) == 9  # last store wins

@@ -131,21 +131,21 @@ def test_block_allocator_distinct_blocks(params):
 
 
 def test_workload_requires_matching_proc_count(params):
-    from repro.system.machine import Machine
+    from repro.system import MachineSpec
 
     wl = LockingWorkload(params, num_locks=2, acquires_per_proc=1)
     other = SystemParams(num_chips=1, procs_per_chip=2, tokens_per_block=16)
-    machine = Machine(other, "PerfectL2")
+    machine = MachineSpec(params=other, protocol="PerfectL2").build()
     with pytest.raises(ValueError):
         machine.run(wl)
 
 
 def test_fetch_ops_route_to_l1i(params):
     from repro.cpu.ops import Fetch
-    from repro.system.machine import Machine
+    from repro.system import MachineSpec
 
     for proto in ("TokenCMP-dst1", "DirectoryCMP", "PerfectL2"):
-        m = Machine(params, proto, seed=2)
+        m = MachineSpec(params=params, protocol=proto, seed=2).build()
         done = []
         m.sequencers[0].issue(Fetch(0x9000_0000), done.append)
         m.sim.run(max_events=500_000)
@@ -157,9 +157,9 @@ def test_fetch_ops_route_to_l1i(params):
 def test_code_sharing_across_l1is(params):
     """Two processors fetch the same code block: both keep readable copies."""
     from repro.cpu.ops import Fetch
-    from repro.system.machine import Machine
+    from repro.system import MachineSpec
 
-    m = Machine(params, "TokenCMP-dst1", seed=2)
+    m = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=2).build()
     for proc in (0, 2):
         done = []
         m.sequencers[proc].issue(Fetch(0x9000_0000), done.append)
@@ -172,9 +172,9 @@ def test_code_sharing_across_l1is(params):
 
 
 def test_commercial_workloads_issue_fetches(params):
-    from repro.system.machine import Machine
+    from repro.system import MachineSpec
 
-    m = Machine(params, "TokenCMP-dst1", seed=4)
+    m = MachineSpec(params=params, protocol="TokenCMP-dst1", seed=4).build()
     wl = make_commercial(params, "apache", seed=4, refs_per_proc=60)
     m.run(wl, max_events=20_000_000)
     fetched = sum(
