@@ -392,11 +392,39 @@ def cmd_lint(args) -> int:
     from pathlib import Path
 
     from repro.staticcheck import (
-        diff_baseline, load_baseline, render_json, render_text, run_passes,
-        write_baseline,
+        PASSES, diff_baseline, explain_rule, load_baseline, render_json,
+        render_text, run_passes, write_baseline,
     )
 
-    findings, pass_ids = run_passes()
+    if args.explain is not None:
+        report = explain_rule(args.explain)
+        if report is None:
+            known = sorted(r for p in PASSES for r in p.rules)
+            print(f"lint: unknown rule '{args.explain}' "
+                  f"(known: {', '.join(known)})", file=sys.stderr)
+            return 2
+        print(report, end="")
+        return 0
+
+    passes = None
+    if args.pass_name is not None:
+        passes = [p for p in PASSES if p.id == args.pass_name]
+        if not passes:
+            known = ", ".join(p.id for p in PASSES)
+            print(f"lint: unknown pass '{args.pass_name}' (known: {known})",
+                  file=sys.stderr)
+            return 2
+
+    from repro.staticcheck.protomodel import build_model, render_protomodel
+    from repro.staticcheck.runner import default_root
+    from repro.staticcheck.source import load_tree
+
+    files = load_tree(default_root())
+    findings, pass_ids = run_passes(files=files, passes=passes)
+    if args.model_out is not None:
+        out_path = Path(args.model_out)
+        out_path.write_text(render_protomodel(build_model(files)))
+        print(f"wrote {out_path} (schema repro.protomodel/1)", file=sys.stderr)
     baseline_path = Path(args.baseline)
     if args.update_baseline:
         write_baseline(baseline_path, findings)
@@ -582,6 +610,14 @@ def main(argv=None) -> int:
                     help="baseline file of grandfathered finding fingerprints")
     lt.add_argument("--update-baseline", action="store_true",
                     help="rewrite the baseline from the current findings")
+    lt.add_argument("--pass", dest="pass_name", default=None, metavar="NAME",
+                    help="run a single pass by id (exit 2 if unknown)")
+    lt.add_argument("--explain", default=None, metavar="RULE",
+                    help="print a rule's documentation and an example "
+                         "finding, then exit (exit 2 if unknown)")
+    lt.add_argument("--model-out", default=None, metavar="PATH",
+                    help="also write the canonical repro.protomodel/1 "
+                         "transition-graph artifact to PATH")
 
     f = sub.add_parser(
         "faults", help="run the robustness battery under fault injection"

@@ -67,6 +67,6 @@ class TimeoutEstimator:
         repeated recreation requests for one dead block do not storm.
         """
         escalation = min(self.backoff_cap, self.backoff_base ** attempts)
-        base = self._avg_ps * self.multiplier * self.backoff_cap * self.recreate_multiplier
+        base_ps = self._avg_ps * self.multiplier * self.backoff_cap * self.recreate_multiplier
         # Reproducible for the same input history, like threshold_ps.
-        return max(self.floor_ps, round(base * escalation))  # staticcheck: ignore[det-float-time]
+        return max(self.floor_ps, round(base_ps * escalation))  # staticcheck: ignore[det-float-time]

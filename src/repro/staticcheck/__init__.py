@@ -15,15 +15,23 @@ the bug classes the reproduction cares most about:
   approved ledger helpers (``TokenEntry.absorb``/``take``,
   ``TokenMemController._set``);
 * **purity** — simulation packages import no ambient-state stdlib
-  modules (os/time/random/threading).
+  modules (os/time/random/threading);
+* **protocol-model** — the controllers' guarded-transition graph and the
+  checker models' ``transitions()`` graph are extracted from the AST and
+  cross-checked (missing transitions, token-delta sign flips, unguarded
+  stale-epoch carriers), with a canonical ``repro.protomodel/1``
+  artifact;
+* **suppressions** — every ``# staticcheck: ignore[...]`` comment still
+  suppresses at least one finding (the inventory cannot rot).
 
 Entry points: :func:`repro.staticcheck.runner.run_passes` and the
 ``python -m repro lint`` CLI.  See ``docs/static-analysis.md``.
 """
 
-from repro.staticcheck.base import PASSES, Pass
+from repro.staticcheck.base import PASSES, Pass, explain_rule
 from repro.staticcheck.baseline import diff_baseline, load_baseline, write_baseline
 from repro.staticcheck.findings import Finding, render_json, render_text
+from repro.staticcheck.protomodel import build_model, render_protomodel
 from repro.staticcheck.runner import run_passes
 from repro.staticcheck.source import SourceFile, load_tree
 
@@ -32,10 +40,13 @@ __all__ = [
     "Pass",
     "PASSES",
     "SourceFile",
+    "build_model",
     "diff_baseline",
+    "explain_rule",
     "load_baseline",
     "load_tree",
     "render_json",
+    "render_protomodel",
     "render_text",
     "run_passes",
     "write_baseline",

@@ -9,7 +9,7 @@ findings are filtered centrally in :meth:`Pass.run`.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.staticcheck.findings import Finding
 from repro.staticcheck.source import SourceFile
@@ -22,18 +22,35 @@ class Pass:
     description = ""
     #: rule ids this pass can emit (documented; used by reporters/tests)
     rules: Sequence[str] = ()
+    #: rule id -> prose explanation (``python -m repro lint --explain RULE``)
+    rule_docs: Dict[str, str] = {}
+    #: rule id -> an example finding line, for the same report
+    rule_examples: Dict[str, str] = {}
 
     def check(self, files: List[SourceFile]) -> List[Finding]:
         raise NotImplementedError
 
-    def run(self, files: List[SourceFile]) -> List[Finding]:
-        """Run ``check`` and drop inline-suppressed findings."""
+    def run(
+        self,
+        files: List[SourceFile],
+        used: Optional[Set[Tuple[str, int]]] = None,
+    ) -> List[Finding]:
+        """Run ``check`` and drop inline-suppressed findings.
+
+        Each dropped finding credits the ``(path, comment line)`` that
+        consumed it into ``used`` — the ``unused-suppression`` pass then
+        flags every suppression comment that earned no credit.
+        """
         by_path: Dict[str, SourceFile] = {f.path: f for f in files}
         out = []
         for finding in self.check(files):
             src = by_path.get(finding.path)
-            if src is not None and src.is_suppressed(finding.line, finding.rule):
-                continue
+            if src is not None:
+                site = src.suppression_site(finding.line, finding.rule)
+                if site is not None:
+                    if used is not None:
+                        used.add((src.path, site))
+                    continue
             out.append(finding)
         return sorted(out)
 
@@ -109,17 +126,35 @@ def make_registry():
     from repro.staticcheck.determinism import DeterminismPass
     from repro.staticcheck.dispatch import DispatchPass
     from repro.staticcheck.pooling import PoolDisciplinePass
+    from repro.staticcheck.protomodel import ProtocolModelPass
     from repro.staticcheck.purity import PurityPass
+    from repro.staticcheck.suppressions import UnusedSuppressionPass
     from repro.staticcheck.tokens import TokenDisciplinePass
 
     return [
         DispatchPass(),
+        ProtocolModelPass(),
         DeterminismPass(),
         TokenDisciplinePass(),
         PurityPass(),
         PoolDisciplinePass(),
+        UnusedSuppressionPass(),
     ]
 
 
 #: The standard passes, in report order.
 PASSES = make_registry()
+
+
+def explain_rule(rule: str) -> Optional[str]:
+    """The ``--explain RULE`` report: doc plus example, or None if unknown."""
+    for p in PASSES:
+        if rule not in p.rules:
+            continue
+        doc = p.rule_docs.get(rule, p.description)
+        lines = [f"{rule} (pass: {p.id})", "", doc]
+        example = p.rule_examples.get(rule)
+        if example:
+            lines += ["", "Example finding:", f"  {example}"]
+        return "\n".join(lines) + "\n"
+    return None

@@ -175,6 +175,53 @@ class DeterminismPass(Pass):
         "det-unseeded-random",
         "det-float-time",
     )
+    rule_docs = {
+        "det-set-iter": (
+            "A for-loop or comprehension iterates a set-typed expression "
+            "in simulation/verification code.  NodeId hashes vary per "
+            "process under hash randomization, so raw set order reorders "
+            "the event stream and breaks byte-identical reruns.  Iterate "
+            "sorted(...) instead; feeding a set to an order-insensitive "
+            "consumer (sorted, min, sum, ...) is fine."
+        ),
+        "det-wallclock": (
+            "time.time()/datetime.now() in compared code.  Wall-clock "
+            "values differ across runs, so they must never reach a "
+            "comparable projection; use time.perf_counter() for "
+            "measurement and keep elapsed time out of outputs."
+        ),
+        "det-unseeded-random": (
+            "The random module's process-global generator (or Random() "
+            "without a seed) feeds simulation state; reruns diverge.  "
+            "Thread an explicitly seeded Random through instead."
+        ),
+        "det-float-time": (
+            "round()/float() applied to a picosecond quantity in the "
+            "simulation core.  Simulated time is integral end to end; "
+            "float rounding reintroduces platform drift."
+        ),
+    }
+    rule_examples = {
+        "det-set-iter": (
+            "repro/sim/machine.py:88: error[det-set-iter] loop iterates "
+            "a set ('self._dirty'): order varies under hash "
+            "randomization — iterate sorted(...)"
+        ),
+        "det-wallclock": (
+            "repro/exp/engine.py:31: error[det-wallclock] time.time() "
+            "in compared code: use perf_counter for measurement and "
+            "keep wall-clock out of outputs"
+        ),
+        "det-unseeded-random": (
+            "repro/workloads/oltp.py:12: error[det-unseeded-random] "
+            "module-level random.choice(): seeded Random required"
+        ),
+        "det-float-time": (
+            "repro/core/timeout.py:55: error[det-float-time] round() on "
+            "a picosecond quantity (self._avg_ps * ...): simulated time "
+            "must stay integral"
+        ),
+    }
 
     def check(self, files: List[SourceFile]) -> List[Finding]:
         findings: List[Finding] = []

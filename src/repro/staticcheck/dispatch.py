@@ -468,6 +468,44 @@ class DispatchPass(Pass):
     id = "dispatch"
     description = "controller MsgType ladders handle every receivable type"
     rules = ("dispatch-unhandled", "dispatch-no-default", "dispatch-unknown-mtype")
+    rule_docs = {
+        "dispatch-unhandled": (
+            "A send site can deliver this MsgType to the controller's "
+            "role (per the routing model), but no arm of its dispatch "
+            "ladder names it: the message would be built, routed, "
+            "delivered, and silently dropped (or hit the defensive "
+            "raise only on the configs that exercise it)."
+        ),
+        "dispatch-no-default": (
+            "A message-type ladder with three or more arms has no "
+            "default arm, so an unexpected type falls through without a "
+            "trace.  Add an 'else: raise' (the repo's idiom) so drift "
+            "fails loudly."
+        ),
+        "dispatch-unknown-mtype": (
+            "The code references a MsgType member that does not exist.  "
+            "A typo'd ladder arm can never match; a typo'd send can "
+            "never be constructed.  Usually a rename that missed a site."
+        ),
+    }
+    rule_examples = {
+        "dispatch-unhandled": (
+            "repro/core/memctrl.py:108: error[dispatch-unhandled] "
+            "TokenMemController (token mem) can receive "
+            "MsgType.TOK_RECREATE_REQ (sent at repro/core/l1.py:210) "
+            "but its dispatch ladder never handles it"
+        ),
+        "dispatch-no-default": (
+            "repro/core/base.py:105: warning[dispatch-no-default] "
+            "TokenCacheController._process: message-type ladder has no "
+            "default arm — unexpected types are silently dropped"
+        ),
+        "dispatch-unknown-mtype": (
+            "repro/core/l2.py:88: error[dispatch-unknown-mtype] "
+            "MsgType.TOK_GETZ is not a member of MsgType (typo'd arm "
+            "can never match)"
+        ),
+    }
 
     def check(self, files: List[SourceFile]) -> List[Finding]:
         findings: List[Finding] = []

@@ -93,6 +93,24 @@ class PoolDisciplinePass(Pass):
     id = "pooling"
     description = "pooled messages do not escape past their delivery"
     rules = ("pool-discipline",)
+    rule_docs = {
+        "pool-discipline": (
+            "A handled message escapes its dispatch: stored on the "
+            "instance, captured in a nested def/lambda, or referenced "
+            "after release().  Pooled Message records are recycled at "
+            "delivery end, so any surviving reference aliases a record "
+            "that now describes a different transaction.  Copy scalars "
+            "out instead; sanctioned retention sites live in APPROVED."
+        ),
+    }
+    rule_examples = {
+        "pool-discipline": (
+            "repro/core/l1.py:95: error[pool-discipline] handled "
+            "message 'msg' is stored on the instance "
+            "(self._pending.append(msg)): pooled records are recycled "
+            "after delivery"
+        ),
+    }
 
     def check(self, files: List[SourceFile]) -> List[Finding]:
         findings: List[Finding] = []

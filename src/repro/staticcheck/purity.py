@@ -50,6 +50,21 @@ class PurityPass(Pass):
     id = "purity"
     description = "simulation packages import no ambient-state stdlib modules"
     rules = ("purity-import",)
+    rule_docs = {
+        "purity-import": (
+            "A simulation package imports an ambient-state stdlib module "
+            "(os, time, random, datetime, threading, ...).  Simulation "
+            "must be a function of (seed, config); ambient process state "
+            "is how nondeterminism sneaks in.  The sanctioned exceptions "
+            "carry inline suppressions."
+        ),
+    }
+    rule_examples = {
+        "purity-import": (
+            "repro/sim/kernel.py:58: error[purity-import] simulation "
+            "package imports 'time' (ambient process state)"
+        ),
+    }
 
     def check(self, files: List[SourceFile]) -> List[Finding]:
         findings: List[Finding] = []

@@ -42,11 +42,19 @@ class SourceFile:
 
     def is_suppressed(self, lineno: int, rule: str) -> bool:
         """True if ``rule`` is suppressed on ``lineno`` or the line above."""
+        return self.suppression_site(lineno, rule) is not None
+
+    def suppression_site(self, lineno: int, rule: str) -> Optional[int]:
+        """The comment line that suppresses ``rule`` at ``lineno``, if any.
+
+        The ``unused-suppression`` pass uses this to credit the exact
+        comment a dropped finding consumed.
+        """
         for ln in (lineno, lineno - 1):
             rules = self.suppressions.get(ln)
             if rules and ("*" in rules or rule in rules):
-                return True
-        return False
+                return ln
+        return None
 
 
 def parse_source(path: str, text: str, module: str = "") -> SourceFile:

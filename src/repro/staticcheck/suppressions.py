@@ -1,0 +1,87 @@
+"""Unused-suppression pass (rule ``unused-suppression``).
+
+A ``# staticcheck: ignore[rule]`` comment is the permanent, reviewed
+statement that a site is intentionally exempt.  When the flagged code is
+later refactored away, the comment survives and silently exempts
+whatever lands on that line next — the suppression inventory rots.
+
+This pass inverts the bookkeeping: every detector pass credits the
+``(path, comment line)`` whose suppression consumed a finding (see
+:meth:`Pass.run`), and any suppression comment with no credit is flagged
+as a warning at the comment itself.  The runner guarantees that *all*
+registered detector passes have contributed credits before this pass
+judges — even under ``--pass suppressions`` — so a comment is only
+called unused when no pass in the registry still needs it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.staticcheck.base import Pass
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.source import SourceFile
+
+
+class UnusedSuppressionPass(Pass):
+    id = "suppressions"
+    description = "every staticcheck suppression comment still earns its keep"
+    rules = ("unused-suppression",)
+    rule_docs = {
+        "unused-suppression": (
+            "A '# staticcheck: ignore[...]' comment no longer suppresses "
+            "any finding from any registered pass.  The code it excused "
+            "was refactored away; the stale comment would silently exempt "
+            "whatever lands on that line next.  Delete it (or fix the "
+            "rule list if it names the wrong rule)."
+        ),
+    }
+    rule_examples = {
+        "unused-suppression": (
+            "repro/sim/kernel.py:42: warning[unused-suppression] "
+            "suppression ignore[det-wallclock] matches no finding from "
+            "any pass"
+        ),
+    }
+
+    def run(
+        self,
+        files: List[SourceFile],
+        used: Optional[Set[Tuple[str, int]]] = None,
+    ) -> List[Finding]:
+        used = used or set()
+        out: List[Finding] = []
+        for src in files:
+            if src.module.startswith("repro.staticcheck"):
+                # The analyzer's own sources quote suppression syntax in
+                # docstrings (the comment regex cannot tell those from
+                # live comments); like dispatch-unknown-mtype, the
+                # package that documents the mechanism is exempt.
+                continue
+            for lineno in sorted(src.suppressions):
+                if (src.path, lineno) in used:
+                    continue
+                rules = ",".join(sorted(src.suppressions[lineno]))
+                finding = Finding(
+                    path=src.path, line=lineno,
+                    rule="unused-suppression", severity="warning",
+                    message=(
+                        f"suppression ignore[{rules}] matches no finding "
+                        f"from any pass"
+                    ),
+                    snippet=src.line_at(lineno),
+                )
+                # A suppression comment may itself be suppressed (meta,
+                # but consistent with every other rule).
+                site = src.suppression_site(finding.line, finding.rule)
+                if site is not None and site != lineno:
+                    continue
+                if site == lineno and "unused-suppression" in src.suppressions[lineno]:
+                    continue
+                out.append(finding)
+        return sorted(out)
+
+    def check(self, files: List[SourceFile]) -> List[Finding]:
+        # Usage credits arrive via run(); a bare check() (no credits)
+        # reports every suppression, which is only meaningful in tests.
+        return self.run(files, used=set())

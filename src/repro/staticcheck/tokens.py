@@ -60,6 +60,23 @@ class TokenDisciplinePass(Pass):
     id = "tokens"
     description = "token counts mutate only through the approved ledger"
     rules = ("token-mutation",)
+    rule_docs = {
+        "token-mutation": (
+            "An assignment to a .tokens/.owner attribute (or a "
+            "self._tokens[...] store) outside the approved ledger "
+            "helpers (TokenEntry.absorb/take, TokenMemController._set).  "
+            "Token counting is the safety substrate — tokens move but "
+            "are never minted or destroyed — and every count change "
+            "must go through the ledger so conservation is auditable."
+        ),
+    }
+    rule_examples = {
+        "token-mutation": (
+            "repro/core/l2.py:140: error[token-mutation] direct store "
+            "to 'entry.tokens' bypasses the token ledger "
+            "(TokenEntry.absorb/take)"
+        ),
+    }
 
     def check(self, files: List[SourceFile]) -> List[Finding]:
         findings: List[Finding] = []

@@ -53,7 +53,10 @@ def _run_fixture(tmp_path: Path, text: str, passes=None):
 # ---------------------------------------------------------------------------
 def test_repo_tree_is_clean():
     findings, pass_ids = run_passes()
-    assert pass_ids == ["dispatch", "determinism", "tokens", "purity", "pooling"]
+    assert pass_ids == [
+        "dispatch", "protocol-model", "determinism", "tokens", "purity",
+        "pooling", "suppressions",
+    ]
     assert findings == []
 
 
